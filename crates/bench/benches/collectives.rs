@@ -1,0 +1,63 @@
+//! Host-side throughput of the simulated collectives: how many
+//! rendezvous-synchronized operations per second the runtime sustains at
+//! various world sizes. This bounds how large a simulated experiment (e.g.
+//! the 456-rank convolution sweep) is practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpisim::WorldBuilder;
+
+fn barriers(nranks: usize, count: usize) {
+    WorldBuilder::new(nranks)
+        .run(|p| {
+            let world = p.world();
+            for _ in 0..count {
+                world.barrier(p);
+            }
+        })
+        .unwrap();
+}
+
+fn allreduces(nranks: usize, count: usize) {
+    WorldBuilder::new(nranks)
+        .run(|p| {
+            let world = p.world();
+            for _ in 0..count {
+                let _ = world.allreduce_sum_f64(p, p.world_rank() as f64);
+            }
+        })
+        .unwrap();
+}
+
+fn bcasts(nranks: usize, count: usize, elems: usize) {
+    WorldBuilder::new(nranks)
+        .run(move |p| {
+            let world = p.world();
+            for _ in 0..count {
+                let data = (p.world_rank() == 0).then(|| vec![1.0f64; elems]);
+                let _ = world.bcast(p, 0, data);
+            }
+        })
+        .unwrap();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let count = 500;
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(count as u64));
+    for nranks in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("barrier", nranks), &nranks, |b, &n| {
+            b.iter(|| barriers(n, count))
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce_f64", nranks), &nranks, |b, &n| {
+            b.iter(|| allreduces(n, count))
+        });
+        group.bench_with_input(BenchmarkId::new("bcast_1k", nranks), &nranks, |b, &n| {
+            b.iter(|| bcasts(n, count, 1024))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

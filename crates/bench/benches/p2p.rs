@@ -1,0 +1,93 @@
+//! Host-side point-to-point throughput: how many messages per second the
+//! matching queues sustain, by payload mode, size, and pattern — the inner
+//! loop of the convolution HALO section.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpisim::{Src, TagSel, WorldBuilder};
+
+fn pingpong(count: usize, elems: usize) {
+    WorldBuilder::new(2)
+        .run(move |p| {
+            let world = p.world();
+            let data = vec![0f64; elems];
+            if p.world_rank() == 0 {
+                for i in 0..count {
+                    world.send(p, 1, i as i32, &data);
+                    let _ = world.recv::<f64>(p, Src::Rank(1), TagSel::Is(i as i32));
+                }
+            } else {
+                for i in 0..count {
+                    let _ = world.recv::<f64>(p, Src::Rank(0), TagSel::Is(i as i32));
+                    world.send(p, 0, i as i32, &data);
+                }
+            }
+        })
+        .unwrap();
+}
+
+fn pingpong_virtual(count: usize, elems: usize) {
+    WorldBuilder::new(2)
+        .run(move |p| {
+            let world = p.world();
+            if p.world_rank() == 0 {
+                for i in 0..count {
+                    world.send_virtual::<f64>(p, 1, i as i32, elems);
+                    let _ = world.recv::<f64>(p, Src::Rank(1), TagSel::Is(i as i32));
+                }
+            } else {
+                for i in 0..count {
+                    let _ = world.recv::<f64>(p, Src::Rank(0), TagSel::Is(i as i32));
+                    world.send_virtual::<f64>(p, 0, i as i32, elems);
+                }
+            }
+        })
+        .unwrap();
+}
+
+fn ring_sendrecv(nranks: usize, rounds: usize) {
+    WorldBuilder::new(nranks)
+        .run(move |p| {
+            let world = p.world();
+            let n = world.size();
+            let rank = world.rank();
+            let right = (rank + 1) % n;
+            let left = (rank + n - 1) % n;
+            for i in 0..rounds {
+                let _ = world.sendrecv(
+                    p,
+                    right,
+                    i as i32,
+                    &[rank as u64],
+                    Src::Rank(left),
+                    TagSel::Is(i as i32),
+                );
+            }
+        })
+        .unwrap();
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    let count = 2_000;
+    let mut group = c.benchmark_group("p2p");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(count as u64 * 2));
+    for elems in [1usize, 1024, 65_536] {
+        group.bench_with_input(BenchmarkId::new("pingpong_real", elems), &elems, |b, &e| {
+            b.iter(|| pingpong(count, e))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pingpong_virtual", elems),
+            &elems,
+            |b, &e| b.iter(|| pingpong_virtual(count, e)),
+        );
+    }
+    for nranks in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("ring_sendrecv", nranks), &nranks, |b, &n| {
+            b.iter(|| ring_sendrecv(n, 500))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Host-side cost of pricing shared-memory parallel regions: uniform
+//! (O(threads)) vs weighted (O(n)) loops, and the schedules' relative
+//! bookkeeping. Regions are the innermost operation of the LULESH sweeps
+//! (dozens per simulated iteration), so their pricing cost dominates the
+//! Fig. 8–10 harness runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machine::Work;
+use mpisim::WorldBuilder;
+use shmem::{Schedule, Team};
+
+fn uniform_regions(threads: usize, regions: usize, n: usize) {
+    WorldBuilder::new(1)
+        .machine(machine::presets::knl())
+        .run(move |p| {
+            let team = Team::new(threads);
+            for _ in 0..regions {
+                team.for_cost_uniform(p, n, Work::flops(100.0));
+            }
+        })
+        .unwrap();
+}
+
+fn weighted_regions(threads: usize, regions: usize, n: usize, schedule: Schedule) {
+    WorldBuilder::new(1)
+        .machine(machine::presets::knl())
+        .run(move |p| {
+            let team = Team::new(threads).with_schedule(schedule);
+            for _ in 0..regions {
+                team.parallel_for_weighted(p, n, |i| Work::flops(100.0 + i as f64), |_| {});
+            }
+        })
+        .unwrap();
+}
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_for_pricing");
+    group.sample_size(20);
+    let regions = 1_000;
+    for threads in [1usize, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("uniform_n1e5", threads),
+            &threads,
+            |b, &t| b.iter(|| uniform_regions(t, regions, 100_000)),
+        );
+    }
+    for (name, schedule) in [
+        ("weighted_static", Schedule::Static),
+        ("weighted_dynamic", Schedule::Dynamic(16)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 16), &16usize, |b, &t| {
+            b.iter(|| weighted_regions(t, 50, 10_000, schedule))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_for);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end harness throughput: complete profiled mini-runs of both
+//! benchmarks (the unit of work behind every figure). Useful for tracking
+//! regressions in the full stack — runtime, sections, profiler, workload.
+
+use bench::{conv_profile, lulesh_profile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiled_runs");
+    group.sample_size(10);
+    let nehalem = machine::presets::nehalem_cluster();
+    for p in [8usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("convolution_20steps", p),
+            &p,
+            |b, &p| b.iter(|| conv_profile(p, 20, &nehalem, 1)),
+        );
+    }
+    let knl = machine::presets::knl();
+    for p in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("lulesh_10iters", p), &p, |b, &p| {
+            let s = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, p).unwrap();
+            b.iter(|| lulesh_profile(p, s, 10, 4, &knl, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation A3 (DESIGN.md D3): host-side cost of `MPIX_Section_enter/exit`
+//! pairs, with and without the cross-rank verification and with and
+//! without an attached profiler.
+//!
+//! This measures the *instrumentation overhead* of the reference
+//! implementation — the quantity a real MPI runtime implementer would care
+//! about before adopting the interface (the paper argues it is small
+//! enough to enable by default, verification being "selectively enabled").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_sections::{SectionProfiler, SectionRuntime, VerifyMode};
+use mpisim::WorldBuilder;
+use std::sync::Arc;
+
+fn run_sections(nranks: usize, pairs: usize, verify: VerifyMode, with_profiler: bool) {
+    let sections = SectionRuntime::new(verify);
+    if with_profiler {
+        sections.attach(SectionProfiler::new());
+    }
+    let s = sections.clone();
+    WorldBuilder::new(nranks)
+        .tool(sections.clone())
+        .run(move |p| {
+            let world = p.world();
+            for _ in 0..pairs {
+                s.enter(p, &world, "bench");
+                s.exit(p, &world, "bench");
+            }
+        })
+        .unwrap();
+    let _ = Arc::strong_count(&sections);
+}
+
+fn bench_section_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section_enter_exit");
+    group.sample_size(20);
+    let pairs = 2_000;
+    for nranks in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("verify_off_no_tool", nranks),
+            &nranks,
+            |b, &n| b.iter(|| run_sections(n, pairs, VerifyMode::Off, false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("verify_on_no_tool", nranks),
+            &nranks,
+            |b, &n| b.iter(|| run_sections(n, pairs, VerifyMode::Active, false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("verify_on_profiler", nranks),
+            &nranks,
+            |b, &n| b.iter(|| run_sections(n, pairs, VerifyMode::Active, true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_section_overhead);
+criterion_main!(benches);

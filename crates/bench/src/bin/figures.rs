@@ -1,0 +1,935 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- <target> [options]
+//!
+//! targets:
+//!   fig5a  fig5b  fig5c  fig5d  fig6     convolution benchmark (§5.1)
+//!   fig7   fig8   fig9   fig10           LULESH proxy (§5.2)
+//!   ablation-jitter  ablation-network    DESIGN.md ablations (D2, D1)
+//!   ablation-adaptive ablation-balance   §8 / LULESH-`-b` extensions
+//!   halo-ratio  weak-scaling             §3 / Gustafson-regime extensions
+//!   amdahl-vs-partial  isoefficiency     §2 / Kumar-[1] analyses
+//!   decomp-2d  forecast                  decomposition & §7 porting studies
+//!   all                                  everything above
+//!
+//! options:
+//!   --steps N   convolution time steps        (default 1000, as the paper)
+//!   --reps N    convolution repetitions       (default 3; paper used 20)
+//!   --iters N   LULESH iterations for fig8/9  (default 500 = 1/5 scale;
+//!               fig10 always runs the full 2500 for absolute comparison)
+//!   --out DIR   output directory for CSVs     (default results/)
+//! ```
+//!
+//! Every target prints an aligned table and writes a CSV with the same
+//! rows. Where the paper states a number, the table repeats it next to the
+//! measured value (see EXPERIMENTS.md for the full comparison).
+
+use bench::{conv_profile, f2, measure_convolution, measure_lulesh, render_table, write_csv, ConvRun};
+use lulesh_proxy::PAPER_ITERATIONS;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+struct Options {
+    steps: usize,
+    reps: usize,
+    iters: usize,
+    out: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            steps: 1000,
+            reps: 3,
+            iters: PAPER_ITERATIONS / 5,
+            out: PathBuf::from("results"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--steps" => {
+                opts.steps = args[i + 1].parse().expect("--steps N");
+                i += 2;
+            }
+            "--reps" => {
+                opts.reps = args[i + 1].parse().expect("--reps N");
+                i += 2;
+            }
+            "--iters" => {
+                opts.iters = args[i + 1].parse().expect("--iters N");
+                i += 2;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            t => {
+                targets.push(t.to_string());
+                i += 1;
+            }
+        }
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "usage: figures <target>... [--steps N] [--reps N] [--iters N] [--out DIR]\n\
+             targets: fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9 fig10\n\
+                      ablation-jitter ablation-network ablation-adaptive\n\
+                      ablation-balance halo-ratio weak-scaling\n\
+                      amdahl-vs-partial isoefficiency decomp-2d forecast all"
+        );
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "fig5d",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "ablation-jitter",
+            "ablation-network",
+            "ablation-adaptive",
+            "ablation-balance",
+            "halo-ratio",
+            "weak-scaling",
+            "amdahl-vs-partial",
+            "isoefficiency",
+            "decomp-2d",
+            "forecast",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let mut conv_cache: Option<Vec<ConvRun>> = None;
+    for target in &targets {
+        match target.as_str() {
+            "fig5a" => fig5a(&opts, conv_sweep(&opts, &mut conv_cache)),
+            "fig5b" => fig5b(&opts, conv_sweep(&opts, &mut conv_cache)),
+            "fig5c" => fig5c(&opts, conv_sweep(&opts, &mut conv_cache)),
+            "fig5d" => fig5d(&opts, conv_sweep(&opts, &mut conv_cache)),
+            "fig6" => fig6(&opts, conv_sweep(&opts, &mut conv_cache)),
+            "fig7" => fig7(&opts),
+            "fig8" => fig8(&opts),
+            "fig9" => fig9(&opts),
+            "fig10" => fig10(&opts),
+            "ablation-jitter" => ablation_jitter(&opts),
+            "ablation-network" => ablation_network(&opts),
+            "ablation-adaptive" => ablation_adaptive(&opts),
+            "ablation-balance" => ablation_balance(&opts),
+            "halo-ratio" => halo_ratio(&opts),
+            "weak-scaling" => weak_scaling(&opts),
+            "amdahl-vs-partial" => {
+                amdahl_vs_partial(&opts, conv_sweep(&opts, &mut conv_cache))
+            }
+            "isoefficiency" => isoefficiency(&opts, conv_sweep(&opts, &mut conv_cache)),
+            "decomp-2d" => decomp_2d(&opts),
+            "forecast" => forecast(&opts),
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The process counts of the §5.1 study ("up to 456 cores", 8 per node).
+const CONV_PS: [usize; 13] = [1, 8, 16, 32, 64, 80, 96, 112, 128, 144, 192, 256, 456];
+
+fn conv_sweep<'a>(opts: &Options, cache: &'a mut Option<Vec<ConvRun>>) -> &'a [ConvRun] {
+    if cache.is_none() {
+        let machine = machine::presets::nehalem_cluster();
+        let seeds: Vec<u64> = (0..opts.reps as u64).collect();
+        eprintln!(
+            "[conv] sweeping p in {CONV_PS:?} ({} steps x {} reps)...",
+            opts.steps, opts.reps
+        );
+        let runs = CONV_PS
+            .iter()
+            .map(|&p| {
+                let run = measure_convolution(p, opts.steps, &machine, &seeds);
+                eprintln!("[conv] p={p:3} wall={:.2}s", run.wall);
+                run
+            })
+            .collect();
+        *cache = Some(runs);
+    }
+    cache.as_ref().unwrap()
+}
+
+fn seq_total(runs: &[ConvRun]) -> f64 {
+    // The paper's 5589.84 s: the total section time of the sequential run.
+    runs[0].section_total.values().sum()
+}
+
+fn fig5a(opts: &Options, runs: &[ConvRun]) {
+    let header: Vec<&str> = std::iter::once("p")
+        .chain(convolution::SECTIONS.iter().copied())
+        .collect();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            std::iter::once(r.p.to_string())
+                .chain(convolution::SECTIONS.iter().map(|l| f2(r.percent(l))))
+                .collect()
+        })
+        .collect();
+    emit(opts, "fig5a", "Fig. 5(a) — % of execution time per MPI Section", &header, &rows);
+}
+
+fn fig5b(opts: &Options, runs: &[ConvRun]) {
+    let header: Vec<&str> = std::iter::once("p")
+        .chain(convolution::SECTIONS.iter().copied())
+        .collect();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            std::iter::once(r.p.to_string())
+                .chain(
+                    convolution::SECTIONS
+                        .iter()
+                        .map(|l| f2(r.section_total.get(*l).copied().unwrap_or(0.0))),
+                )
+                .collect()
+        })
+        .collect();
+    emit(opts, "fig5b", "Fig. 5(b) — total time per MPI Section (s, summed over ranks)", &header, &rows);
+}
+
+fn fig5c(opts: &Options, runs: &[ConvRun]) {
+    let header: Vec<&str> = std::iter::once("p")
+        .chain(convolution::SECTIONS.iter().copied())
+        .collect();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .filter(|r| r.p > 1) // the paper omits the sequential case here
+        .map(|r| {
+            std::iter::once(r.p.to_string())
+                .chain(convolution::SECTIONS.iter().map(|l| f2(r.avg_per_rank(l))))
+                .collect()
+        })
+        .collect();
+    emit(opts, "fig5c", "Fig. 5(c) — average time per process per MPI Section (s)", &header, &rows);
+}
+
+fn fig5d(opts: &Options, runs: &[ConvRun]) {
+    let seq = seq_total(runs);
+    let header = vec!["p", "walltime_s", "speedup", "B_halo"];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let s = runs[0].wall / r.wall;
+            let halo = r.section_total.get("HALO").copied().unwrap_or(0.0);
+            let bound = speedup::partial_bound(seq, halo, r.p);
+            vec![r.p.to_string(), f2(r.wall), f2(s), f2(bound)]
+        })
+        .collect();
+    emit(
+        opts,
+        "fig5d",
+        "Fig. 5(d) — measured speedup and predicted partial speedup bounds (HALO)",
+        &header,
+        &rows,
+    );
+    // Eq. 6 validity at each scale: S(p) <= B_halo(p) must always hold
+    // (the section's per-process time is part of the walltime).
+    let same_scale_ok = runs.iter().all(|r| {
+        let s = runs[0].wall / r.wall;
+        let halo = r.section_total.get("HALO").copied().unwrap_or(0.0);
+        s <= speedup::partial_bound(seq, halo, r.p) + 1e-9
+    });
+    // The Fig. 6 transposition argument: bounds measured at p = 64 remain
+    // valid for the speedups observed across the paper's plotted range
+    // (p <= 144).
+    let b64 = runs
+        .iter()
+        .find(|r| r.p == 64)
+        .map(|r| speedup::partial_bound(seq, r.section_total["HALO"], 64));
+    let transposed_ok = match b64 {
+        None => true,
+        Some(b) => runs
+            .iter()
+            .filter(|r| r.p <= 144)
+            .all(|r| runs[0].wall / r.wall <= b + 1e-9),
+    };
+    println!(
+        "  Eq.6 validity at every scale: {}",
+        if same_scale_ok { "ok" } else { "VIOLATED" }
+    );
+    println!(
+        "  B(64) transposition over p <= 144 (paper's plotted range): {}\n",
+        if transposed_ok { "ok" } else { "VIOLATED" }
+    );
+}
+
+fn fig6(opts: &Options, runs: &[ConvRun]) {
+    let seq = seq_total(runs);
+    let paper: BTreeMap<usize, (f64, f64)> = [
+        (64, (3025.44, 118.25)),
+        (80, (1288.64, 363.96)),
+        (112, (1822.38, 343.54)),
+        (128, (14135.56, 50.61)),
+        (144, (2716.03, 181.17)),
+    ]
+    .into_iter()
+    .collect();
+    let header = vec![
+        "p",
+        "halo_total_s",
+        "B",
+        "paper_halo_s",
+        "paper_B",
+    ];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .filter(|r| paper.contains_key(&r.p))
+        .map(|r| {
+            let halo = r.section_total["HALO"];
+            let b = speedup::partial_bound(seq, halo, r.p);
+            let (ph, pb) = paper[&r.p];
+            vec![r.p.to_string(), f2(halo), f2(b), f2(ph), f2(pb)]
+        })
+        .collect();
+    println!("  (sequential total: measured {:.2} s, paper 5589.84 s)", seq);
+    emit(
+        opts,
+        "fig6",
+        "Fig. 6 — inferred partial speedup bounds from the HALO section",
+        &header,
+        &rows,
+    );
+}
+
+fn fig7(opts: &Options) {
+    let header = vec!["mpi_processes", "lulesh_s", "elements"];
+    let rows: Vec<Vec<String>> = lulesh_proxy::table7()
+        .into_iter()
+        .map(|(p, s, total)| vec![p.to_string(), s.to_string(), total.to_string()])
+        .collect();
+    emit(
+        opts,
+        "fig7",
+        "Fig. 7 — LULESH strong-scaling configurations (constant 110 592 elements)",
+        &header,
+        &rows,
+    );
+}
+
+fn lulesh_sweep(
+    opts: &Options,
+    name: &str,
+    title: &str,
+    machine: &machine::MachineModel,
+    ps: &[usize],
+    threads: &[usize],
+    iters: usize,
+) {
+    let header = vec!["p", "threads", "walltime_s", "lagrange_nodal_s", "lagrange_elements_s"];
+    let mut rows = Vec::new();
+    for &p in ps {
+        let s = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, p)
+            .expect("Fig. 7 process counts");
+        for &t in threads {
+            let run = measure_lulesh(p, s, iters, t, machine, 5);
+            eprintln!(
+                "[{name}] p={p:2} t={t:3} wall={:.2}s nodal={:.2}s elems={:.2}s",
+                run.walltime, run.nodal, run.elements
+            );
+            rows.push(vec![
+                p.to_string(),
+                t.to_string(),
+                f2(run.walltime),
+                f2(run.nodal),
+                f2(run.elements),
+            ]);
+        }
+    }
+    emit(opts, name, title, &header, &rows);
+}
+
+fn fig8(opts: &Options) {
+    lulesh_sweep(
+        opts,
+        "fig8",
+        "Fig. 8 — LULESH MPI sections on dual Broadwell (avg time per process, s)",
+        &machine::presets::dual_broadwell(),
+        &[1, 8, 27],
+        &[1, 2, 4, 8, 16, 32, 64],
+        opts.iters,
+    );
+}
+
+fn fig9(opts: &Options) {
+    lulesh_sweep(
+        opts,
+        "fig9",
+        "Fig. 9 — LULESH MPI sections on Intel KNL (avg time per process, s)",
+        &machine::presets::knl(),
+        &[1, 8, 27, 64],
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256],
+        opts.iters,
+    );
+}
+
+fn fig10(opts: &Options) {
+    // Full paper scale: the absolute numbers of §5.2 are compared here.
+    let machine = machine::presets::knl();
+    let threads = [1usize, 2, 4, 8, 16, 20, 24, 28, 32, 48, 64, 96, 128, 192, 256];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut at24 = None;
+    let mut seq_wall = 0.0;
+    for &t in &threads {
+        let run = measure_lulesh(1, 48, PAPER_ITERATIONS, t, &machine, 5);
+        if t == 1 {
+            seq_wall = run.walltime;
+        }
+        if t == 24 {
+            at24 = Some(run.clone());
+        }
+        eprintln!(
+            "[fig10] t={t:3} wall={:.2}s nodal={:.2}s elems={:.2}s",
+            run.walltime, run.nodal, run.elements
+        );
+        series.push((t, run.walltime));
+        rows.push(vec![
+            t.to_string(),
+            f2(run.walltime),
+            f2(run.nodal),
+            f2(run.elements),
+            f2(seq_wall / run.walltime),
+        ]);
+    }
+    let header = vec!["threads", "walltime_s", "lagrange_nodal_s", "lagrange_elements_s", "speedup"];
+    emit(
+        opts,
+        "fig10",
+        "Fig. 10 — LULESH walltime and speedup, pure OpenMP on KNL (s = 48)",
+        &header,
+        &rows,
+    );
+    // The §5.2 analysis: inflexion point and Eq. 6 bounds.
+    let scaling = speedup::ScalingSeries::new(series);
+    let inflexion = scaling.inflexion(0.02).expect("non-empty series");
+    if let Some(run) = at24 {
+        let combined = speedup::partial_bound_per_process(seq_wall, run.nodal + run.elements);
+        let elements_only = speedup::partial_bound_per_process(seq_wall, run.elements);
+        let actual = seq_wall / run.walltime;
+        println!("  sequential walltime:          measured {:.2} s   (paper 882.48 s)", seq_wall);
+        println!("  inflexion point:              measured t={}      (paper: 24 threads)", inflexion.p);
+        println!("  Eq.6 bound from both phases:  measured {:.2}x    (paper 8.16x)", combined);
+        println!("  actual speedup at 24 threads: measured {:.2}x    (paper 8.08x)", actual);
+        println!("  LagrangeElements-only bound:  measured {:.2}x    (paper 13.72x)\n", elements_only);
+    }
+}
+
+fn ablation_jitter(opts: &Options) {
+    // D2: with noise disabled, the HALO section flattens — demonstrating
+    // that jitter accumulation is what makes it grow (the Fig. 5b finding).
+    let mut noiseless = machine::presets::nehalem_cluster();
+    noiseless.noise = machine::NoiseModel::NONE;
+    let noisy = machine::presets::nehalem_cluster();
+    let header = vec!["p", "halo_noisy_s", "halo_noiseless_s", "ratio"];
+    let mut rows = Vec::new();
+    for p in [8usize, 32, 64, 144] {
+        let (with, _) = conv_profile(p, opts.steps / 4, &noisy, 1);
+        let (without, _) = conv_profile(p, opts.steps / 4, &noiseless, 1);
+        let h_with = with.get_world("HALO").map(|s| s.total_own_secs).unwrap_or(0.0);
+        let h_without = without.get_world("HALO").map(|s| s.total_own_secs).unwrap_or(0.0);
+        rows.push(vec![
+            p.to_string(),
+            f2(h_with),
+            f2(h_without),
+            f2(h_with / h_without.max(1e-12)),
+        ]);
+    }
+    emit(
+        opts,
+        "ablation_jitter",
+        "Ablation D2 — HALO total time with and without compute jitter",
+        &header,
+        &rows,
+    );
+}
+
+fn ablation_network(opts: &Options) {
+    // D1: with a free network, communication sections vanish and the
+    // speedup follows the compute partition — isolating the network
+    // model's contribution.
+    let mut free = machine::presets::nehalem_cluster();
+    free.network = machine::NetworkModel::FREE;
+    free.noise = machine::NoiseModel::NONE;
+    let real = machine::presets::nehalem_cluster();
+    let header = vec!["p", "wall_real_s", "wall_free_s", "halo_real_s", "halo_free_s"];
+    let mut rows = Vec::new();
+    for p in [8usize, 64, 144] {
+        let (pr, wall_r) = conv_profile(p, opts.steps / 4, &real, 1);
+        let (pf, wall_f) = conv_profile(p, opts.steps / 4, &free, 1);
+        let halo = |prof: &mpi_sections::Profile| {
+            prof.get_world("HALO").map(|s| s.total_own_secs).unwrap_or(0.0)
+        };
+        rows.push(vec![
+            p.to_string(),
+            f2(wall_r),
+            f2(wall_f),
+            f2(halo(&pr)),
+            f2(halo(&pf)),
+        ]);
+    }
+    emit(
+        opts,
+        "ablation_network",
+        "Ablation D1 — walltime and HALO with the real vs free network model",
+        &header,
+        &rows,
+    );
+}
+
+/// Extension experiments beyond the paper's figures (see DESIGN.md).
+fn halo_ratio(opts: &Options) {
+    // §3's argument quantified: ghost/owned ratios for slab, pencil and
+    // block decompositions of a 96³ domain (the LULESH-scale mesh).
+    let rows_data = convolution::halo_table(96, &[8, 64, 512], 3);
+    let header = vec!["p", "decomp", "block", "owned", "ghosts", "ratio"];
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.p.to_string(),
+                format!("{}D", r.ndims),
+                r.extents
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
+                r.owned.to_string(),
+                r.ghosts.to_string(),
+                format!("{:.4}", r.ratio),
+            ]
+        })
+        .collect();
+    emit(
+        opts,
+        "halo_ratio",
+        "§3 analysis — ghost/owned cell ratio by decomposition dimensionality",
+        &header,
+        &rows,
+    );
+}
+
+fn weak_scaling(opts: &Options) {
+    // Weak scaling of the convolution: per-rank image slice held constant
+    // (468 rows, 1/8 of the paper's image) while the global image grows
+    // with p. Gustafson territory: the scaled speedup should track p.
+    let machine = machine::presets::nehalem_cluster();
+    let rows_per_rank = 468usize;
+    let steps = opts.steps / 4;
+    let header = vec!["p", "height", "wall_s", "weak_eff", "scaled_speedup", "gustafson_fs"];
+    let mut rows = Vec::new();
+    let mut t1 = 0.0;
+    for p in [1usize, 2, 4, 8, 16, 32, 64] {
+        let cfg = convolution::ConvConfig {
+            width: 5616,
+            height: rows_per_rank * p,
+            steps,
+            fidelity: convolution::Fidelity::Timing,
+            store_path: None,
+        };
+        let cfg = std::sync::Arc::new(cfg);
+        let report = mpisim::WorldBuilder::new(p)
+            .machine(machine.clone())
+            .seed(31)
+            .run({
+                let cfg = cfg.clone();
+                move |pr| {
+                    convolution::run_convolution(pr, &mpi_sections::SectionRuntime::new(
+                        mpi_sections::VerifyMode::Off,
+                    ), &cfg);
+                }
+            })
+            .expect("weak-scaling run");
+        let wall = report.makespan_secs();
+        if p == 1 {
+            t1 = wall;
+        }
+        let eff = speedup::weak_efficiency(t1, wall);
+        let scaled = speedup::scaled_speedup_measured(t1, wall, p);
+        let fs = speedup::gustafson_serial_fraction(scaled, p);
+        eprintln!("[weak] p={p:3} wall={wall:.2}s eff={eff:.3}");
+        rows.push(vec![
+            p.to_string(),
+            (rows_per_rank * p).to_string(),
+            f2(wall),
+            format!("{eff:.3}"),
+            f2(scaled),
+            format!("{fs:.4}"),
+        ]);
+    }
+    emit(
+        opts,
+        "weak_scaling",
+        "Weak scaling — constant 468 rows per rank (Gustafson–Barsis regime)",
+        &header,
+        &rows,
+    );
+}
+
+fn amdahl_vs_partial(opts: &Options, runs: &[ConvRun]) {
+    // §2's practicality argument: fit Amdahl's serial fraction on the
+    // small scales, check its predictions at large scales, and contrast
+    // with the section-level bound that directly names the culprit.
+    let seq = seq_total(runs);
+    let speedups: Vec<(usize, f64)> = runs
+        .iter()
+        .map(|r| (r.p, runs[0].wall / r.wall))
+        .collect();
+    let train: Vec<(usize, f64)> = speedups.iter().cloned().filter(|&(p, _)| p <= 64).collect();
+    let fs = speedup::fit_amdahl_serial_fraction(&train).unwrap_or(0.0);
+    let header = vec!["p", "measured_S", "amdahl_fit_S", "rel_err_%", "B_halo"];
+    let rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|&(p, s)| {
+            let predicted = speedup::laws::amdahl::bound(fs, p);
+            let err = if s > 0.0 { 100.0 * (predicted - s) / s } else { 0.0 };
+            let halo = runs
+                .iter()
+                .find(|r| r.p == p)
+                .and_then(|r| r.section_total.get("HALO"))
+                .copied()
+                .unwrap_or(0.0);
+            vec![
+                p.to_string(),
+                f2(s),
+                f2(predicted),
+                f2(err),
+                f2(speedup::partial_bound(seq, halo, p)),
+            ]
+        })
+        .collect();
+    println!(
+        "  fitted Amdahl serial fraction on p <= 64: fs = {fs:.5} \
+         (an aggregate number naming no code region)"
+    );
+    emit(
+        opts,
+        "amdahl_vs_partial",
+        "§2 comparison — fitted Amdahl predictions vs per-section partial bounds",
+        &header,
+        &rows,
+    );
+}
+
+fn ablation_adaptive(opts: &Options) {
+    // §8 future work demonstrated: two repeated sections on the KNL — one
+    // scalable, one past its inflexion at full thread count. Fixed teams
+    // waste the non-scalable section's time; the adaptive controller
+    // converges per-section.
+    let machine = machine::presets::knl();
+    let reps = (opts.iters / 2).max(100);
+    let run = |mode: &'static str| -> (f64, usize, usize) {
+        mpisim::WorldBuilder::new(1)
+            .machine(machine.clone())
+            .seed(5)
+            .run(move |p| {
+                use machine::Work;
+                let big = 110_592usize;
+                let small = 2_048usize;
+                let w = Work::new(500.0, 48.0);
+                match mode {
+                    "fixed-max" => {
+                        let team = shmem::Team::new(128);
+                        for _ in 0..reps {
+                            team.for_cost_uniform(p, big, w);
+                            team.for_cost_uniform(p, small, w);
+                        }
+                        (p.now().as_secs_f64(), 128, 128)
+                    }
+                    _ => {
+                        let mut team = shmem::AdaptiveTeam::new(128);
+                        for _ in 0..reps {
+                            team.for_cost_uniform(p, "big", big, w);
+                            team.for_cost_uniform(p, "small", small, w);
+                        }
+                        (
+                            p.now().as_secs_f64(),
+                            team.threads_for("big"),
+                            team.threads_for("small"),
+                        )
+                    }
+                }
+            })
+            .expect("adaptive run")
+            .results
+            .remove(0)
+    };
+    let (fixed_wall, _, _) = run("fixed-max");
+    let (adaptive_wall, big_t, small_t) = run("adaptive");
+    let header = vec!["policy", "wall_s", "threads_big", "threads_small"];
+    let rows = vec![
+        vec!["fixed-128".into(), f2(fixed_wall), "128".into(), "128".into()],
+        vec![
+            "adaptive".into(),
+            f2(adaptive_wall),
+            big_t.to_string(),
+            small_t.to_string(),
+        ],
+    ];
+    emit(
+        opts,
+        "ablation_adaptive",
+        "§8 future work — dynamically restraining parallelism per section (KNL)",
+        &header,
+        &rows,
+    );
+}
+
+fn ablation_balance(opts: &Options) {
+    // The material-cost gradient (real LULESH's `-b` regions): EOS cost
+    // ramps along the global x axis, skewing ranks. The §8 load-balance
+    // interface quantifies the skew; a dynamic schedule repairs the
+    // intra-rank share of it.
+    let machine = machine::presets::knl();
+    let iters = (opts.iters / 5).max(20);
+    let run = |gradient: Option<f64>, schedule: shmem::Schedule| {
+        let sections = mpi_sections::SectionRuntime::new(mpi_sections::VerifyMode::Off);
+        let profiler = mpi_sections::SectionProfiler::new();
+        sections.attach(profiler.clone());
+        let s = sections.clone();
+        let mut cfg = lulesh_proxy::LuleshConfig::timing(12, iters, 4);
+        cfg.schedule = schedule;
+        cfg.cost_gradient = gradient.map(|m| lulesh_proxy::CostGradient {
+            max_multiplier: m,
+        });
+        let cfg = std::sync::Arc::new(cfg);
+        mpisim::WorldBuilder::new(64)
+            .machine(machine.clone())
+            .seed(13)
+            .tool(sections.clone())
+            .run(move |p| {
+                lulesh_proxy::run_lulesh(p, &s, &cfg);
+            })
+            .expect("balance run");
+        profiler.snapshot()
+    };
+    let header = vec![
+        "gradient",
+        "schedule",
+        "eos_total_s",
+        "imb_factor",
+        "pct_imbalance",
+        "gini",
+    ];
+    let mut rows = Vec::new();
+    for (gradient, label) in [(None, "1x"), (Some(4.0), "4x")] {
+        for (schedule, sname) in [
+            (shmem::Schedule::Static, "static"),
+            (shmem::Schedule::Dynamic(64), "dynamic"),
+        ] {
+            let profile = run(gradient, schedule);
+            let eos = profile
+                .get_world("ApplyMaterialPropertiesForElems")
+                .expect("profiled");
+            let balance = mpi_sections::BalanceReport::for_section(eos).expect("ranks");
+            rows.push(vec![
+                label.to_string(),
+                sname.to_string(),
+                f2(eos.total_own_secs),
+                format!("{:.3}", balance.imbalance_factor),
+                format!("{:.1}%", balance.percent_imbalance * 100.0),
+                format!("{:.3}", balance.gini),
+            ]);
+        }
+    }
+    emit(
+        opts,
+        "ablation_balance",
+        "Extension — material-cost gradient: rank imbalance metrics by schedule (p=64, KNL)",
+        &header,
+        &rows,
+    );
+}
+
+fn isoefficiency(opts: &Options, runs: &[ConvRun]) {
+    // Kumar et al. (the paper's [1]) applied to the measured sweep: fit
+    // the total-overhead power law and report the work growth needed to
+    // hold 50% and 80% efficiency.
+    let seq_wall = runs[0].wall;
+    let points: Vec<(usize, f64)> = runs
+        .iter()
+        .filter(|r| r.p > 1)
+        .map(|r| (r.p, speedup::total_overhead(seq_wall, r.wall, r.p)))
+        .collect();
+    let fitted = speedup::fit_overhead_power_law(&points);
+    let header = vec!["p", "overhead_s", "efficiency", "W_for_E50_s", "W_for_E80_s"];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let to = speedup::total_overhead(seq_wall, r.wall, r.p);
+            vec![
+                r.p.to_string(),
+                f2(to),
+                format!("{:.3}", speedup::efficiency(seq_wall, r.wall, r.p)),
+                f2(speedup::required_work(0.5, to)),
+                f2(speedup::required_work(0.8, to)),
+            ]
+        })
+        .collect();
+    if let Some((a, b)) = fitted {
+        println!(
+            "  fitted total overhead: T_o(p) ~ {a:.3} * p^{b:.3} \
+             (b > 1 => the problem must grow super-linearly to hold efficiency)"
+        );
+    }
+    emit(
+        opts,
+        "isoefficiency",
+        "Extension — isoefficiency analysis of the convolution benchmark",
+        &header,
+        &rows,
+    );
+}
+
+fn decomp_2d(opts: &Options) {
+    // 1-D vs 2-D decomposition of the paper's image at scale. The 2-D
+    // variant moves far less halo *data* per rank — but it couples each
+    // rank to 8 neighbours instead of 2, so under the calibrated noise
+    // model (where HALO time is wait-dominated, the Fig. 5b finding) the
+    // textbook expectation inverts. Both regimes are shown: the noisy
+    // machine and a noise-free one where bandwidth dominates.
+    let steps = opts.steps / 4;
+    let header = vec![
+        "p",
+        "decomp",
+        "noise",
+        "wall_s",
+        "halo_total_s",
+        "halo_per_rank_s",
+    ];
+    let mut rows = Vec::new();
+    for noisy in [true, false] {
+        let mut machine = machine::presets::nehalem_cluster();
+        if !noisy {
+            machine.noise = machine::NoiseModel::NONE;
+        }
+        for p in [16usize, 64, 144] {
+            for mode in ["1D", "2D"] {
+                let sections =
+                    mpi_sections::SectionRuntime::new(mpi_sections::VerifyMode::Off);
+                let profiler = mpi_sections::SectionProfiler::new();
+                sections.attach(profiler.clone());
+                let s = sections.clone();
+                let cfg = std::sync::Arc::new(convolution::ConvConfig::paper(steps));
+                let report = mpisim::WorldBuilder::new(p)
+                    .machine(machine.clone())
+                    .seed(23)
+                    .tool(sections.clone())
+                    .run(move |pr| {
+                        if mode == "1D" {
+                            convolution::run_convolution(pr, &s, &cfg);
+                        } else {
+                            convolution::run_convolution_2d(pr, &s, &cfg);
+                        }
+                    })
+                    .expect("decomp run");
+                let profile = profiler.snapshot();
+                let halo = profile
+                    .get_world("HALO")
+                    .map(|st| st.total_own_secs)
+                    .unwrap_or(0.0);
+                eprintln!(
+                    "[decomp2d] p={p:3} {mode} noise={noisy} wall={:.2}s",
+                    report.makespan_secs()
+                );
+                rows.push(vec![
+                    p.to_string(),
+                    mode.to_string(),
+                    if noisy { "on" } else { "off" }.to_string(),
+                    f2(report.makespan_secs()),
+                    f2(halo),
+                    f2(halo / p as f64),
+                ]);
+            }
+        }
+    }
+    emit(
+        opts,
+        "decomp_2d",
+        "Extension — 1-D vs 2-D decomposition of the convolution benchmark",
+        &header,
+        &rows,
+    );
+}
+
+fn forecast(opts: &Options) {
+    // The §1/§7 motivation as a runnable experiment: take the unchanged
+    // LULESH proxy to a hypothetical next-generation many-core node and
+    // let a ScalingStudy report which sections will cap the port, before
+    // anyone buys the machine.
+    let machine = machine::presets::future_manycore();
+    println!("  target: {}", machine.describe());
+    let iters = (opts.iters / 5).max(50);
+    let threads = [1usize, 4, 16, 64, 128, 256, 512];
+    let measurements: Vec<(usize, mpi_sections::Profile)> = threads
+        .iter()
+        .map(|&t| {
+            let profile = bench::lulesh_profile(1, 48, iters, t, &machine, 19);
+            eprintln!(
+                "[forecast] t={t:3} timeloop={:.2}s",
+                profile.get_world("timeloop").unwrap().avg_per_rank_secs()
+            );
+            (t, profile)
+        })
+        .collect();
+    let study = speedup::ScalingStudy::new(&measurements);
+    println!("{}", study.render());
+
+    let header = vec!["threads", "walltime_s", "speedup"];
+    let rows: Vec<Vec<String>> = study
+        .speedups()
+        .into_iter()
+        .zip(study.walltime.points())
+        .map(|((t, s), pt)| vec![t.to_string(), f2(pt.secs), f2(s)])
+        .collect();
+    let saturated: Vec<&str> = study
+        .saturated_sections()
+        .iter()
+        .map(|s| s.label.as_str())
+        .collect();
+    println!(
+        "  sections already past their inflexion on this machine: {}\n",
+        if saturated.is_empty() {
+            "none".to_string()
+        } else {
+            saturated.join(", ")
+        }
+    );
+    emit(
+        opts,
+        "forecast",
+        "§7 forecast — LULESH proxy on a hypothetical future many-core node (p=1)",
+        &header,
+        &rows,
+    );
+}
+
+fn emit(opts: &Options, name: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    print!("{}", render_table(header, rows));
+    match write_csv(&opts.out, name, header, rows) {
+        Ok(path) => println!("  -> {}\n", path.display()),
+        Err(e) => eprintln!("  (csv write failed: {e})\n"),
+    }
+}

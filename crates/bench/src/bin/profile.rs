@@ -1,0 +1,315 @@
+//! A MALP-style command-line profiler (§8: "this work and the associated
+//! profiling interface are to be released in open-source in the MALP
+//! profiling tool"): run either benchmark under the section profiler and
+//! print the profile report, the load-balance analysis, the Eq. 6 bound
+//! ranking, and optionally a Chrome trace.
+//!
+//! ```text
+//! cargo run --release -p bench --bin profile -- conv   --p 64 --steps 100
+//! cargo run --release -p bench --bin profile -- lulesh --p 8 --threads 4 --iters 100
+//!
+//! options:
+//!   --p N          MPI processes                     (default 8)
+//!   --threads N    OpenMP-style threads (lulesh)     (default 1)
+//!   --steps N      convolution steps                 (default 100)
+//!   --iters N      lulesh iterations                 (default 100)
+//!   --machine M    nehalem | knl | broadwell | ideal (default: per workload)
+//!   --machine-file F  load the machine from a `key = value` file (see
+//!                  `machine::config`); overrides --machine
+//!   --seed N       noise seed                        (default 1)
+//!   --trace FILE   write a Chrome trace JSON (open in chrome://tracing)
+//!   --csv FILE     write the span trace as CSV
+//!   --profile-csv FILE  write the per-section summary as CSV
+//!   --compare-seq  also run the sequential baseline and print the
+//!                  per-section scaling comparison (Eq. 6 bounds vs a real
+//!                  baseline instead of the single-run proxy)
+//! ```
+
+use mpi_sections::{
+    render, render_bounds, ReportOptions, SectionProfiler, SectionRuntime, TraceTool, VerifyMode,
+};
+use mpisim::WorldBuilder;
+use std::sync::Arc;
+
+struct Args {
+    workload: String,
+    p: usize,
+    threads: usize,
+    steps: usize,
+    iters: usize,
+    machine: Option<String>,
+    machine_file: Option<String>,
+    seed: u64,
+    trace: Option<String>,
+    csv: Option<String>,
+    profile_csv: Option<String>,
+    compare_seq: bool,
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        workload: String::new(),
+        p: 8,
+        threads: 1,
+        steps: 100,
+        iters: 100,
+        machine: None,
+        machine_file: None,
+        seed: 1,
+        trace: None,
+        csv: None,
+        profile_csv: None,
+        compare_seq: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--p" => {
+                args.p = argv[i + 1].parse().expect("--p N");
+                i += 2;
+            }
+            "--threads" => {
+                args.threads = argv[i + 1].parse().expect("--threads N");
+                i += 2;
+            }
+            "--steps" => {
+                args.steps = argv[i + 1].parse().expect("--steps N");
+                i += 2;
+            }
+            "--iters" => {
+                args.iters = argv[i + 1].parse().expect("--iters N");
+                i += 2;
+            }
+            "--machine" => {
+                args.machine = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--machine-file" => {
+                args.machine_file = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--trace" => {
+                args.trace = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--csv" => {
+                args.csv = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--profile-csv" => {
+                args.profile_csv = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--compare-seq" => {
+                args.compare_seq = true;
+                i += 1;
+            }
+            w if !w.starts_with("--") && args.workload.is_empty() => {
+                args.workload = w.to_string();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.workload.is_empty() {
+        eprintln!("usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] [--machine M] [--seed N] [--trace FILE] [--csv FILE]");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn resolve_machine(args: &Args, default: &str) -> machine::MachineModel {
+    if let Some(path) = &args.machine_file {
+        match machine::MachineModel::from_config_file(std::path::Path::new(path)) {
+            Ok(m) => return m,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    machine_by_name(args.machine.as_deref().unwrap_or(default))
+}
+
+fn machine_by_name(name: &str) -> machine::MachineModel {
+    match name {
+        "nehalem" => machine::presets::nehalem_cluster(),
+        "knl" => machine::presets::knl(),
+        "broadwell" => machine::presets::dual_broadwell(),
+        "ideal" => machine::presets::ideal(),
+        other => {
+            eprintln!("unknown machine '{other}' (nehalem|knl|broadwell|ideal)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse();
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    let trace = TraceTool::new();
+    sections.attach(profiler.clone());
+    let tracing = args.trace.is_some() || args.csv.is_some();
+    if tracing {
+        sections.attach(trace.clone());
+    }
+
+    match args.workload.as_str() {
+        "conv" => {
+            let m = resolve_machine(&args, "nehalem");
+            let s = sections.clone();
+            let cfg = Arc::new(convolution::ConvConfig::paper(args.steps));
+            let report = WorldBuilder::new(args.p)
+                .machine(m.clone())
+                .seed(args.seed)
+                .tool(sections.clone())
+                .run(move |p| {
+                    convolution::run_convolution(p, &s, &cfg);
+                })
+                .expect("run failed");
+            println!(
+                "convolution: p={}, {} steps, machine '{}', simulated walltime {:.3} s\n",
+                args.p,
+                args.steps,
+                m.name,
+                report.makespan_secs()
+            );
+        }
+        "lulesh" => {
+            let m = resolve_machine(&args, "knl");
+            let s = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, args.p)
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "--p must be a perfect cube dividing 110592 (1, 8, 27, 64); got {}",
+                        args.p
+                    );
+                    std::process::exit(2);
+                });
+            let sr = sections.clone();
+            let cfg = Arc::new(lulesh_proxy::LuleshConfig::timing(
+                s,
+                args.iters,
+                args.threads,
+            ));
+            let report = WorldBuilder::new(args.p)
+                .machine(m.clone())
+                .seed(args.seed)
+                .tool(sections.clone())
+                .run(move |p| {
+                    lulesh_proxy::run_lulesh(p, &sr, &cfg);
+                })
+                .expect("run failed");
+            println!(
+                "lulesh: p={}, s={}, {} iterations, {} threads, machine '{}', simulated walltime {:.3} s\n",
+                args.p,
+                s,
+                args.iters,
+                args.threads,
+                m.name,
+                report.makespan_secs()
+            );
+        }
+        other => {
+            eprintln!("unknown workload '{other}' (conv|lulesh)");
+            std::process::exit(2);
+        }
+    }
+
+    let profile = profiler.snapshot();
+    println!("{}", render(&profile, &ReportOptions::default()));
+
+    // Eq. 6 bound ranking against the run's own aggregate (a proxy for the
+    // sequential total when only one scale was run).
+    let total: f64 = profile
+        .sections()
+        .filter(|s| s.key.label != mpi_sections::MPI_MAIN)
+        .map(|s| s.total_excl_secs)
+        .sum();
+    println!("{}", render_bounds(&profile, total, args.p));
+
+    if args.compare_seq && args.p > 1 {
+        // Re-run the same workload sequentially and line the two profiles
+        // up (the paper's actual workflow: a sequential reference run).
+        let base_sections = SectionRuntime::new(VerifyMode::Off);
+        let base_profiler = SectionProfiler::new();
+        base_sections.attach(base_profiler.clone());
+        match args.workload.as_str() {
+            "conv" => {
+                let m = resolve_machine(&args, "nehalem");
+                let s = base_sections.clone();
+                let cfg = Arc::new(convolution::ConvConfig::paper(args.steps));
+                WorldBuilder::new(1)
+                    .machine(m)
+                    .seed(args.seed)
+                    .tool(base_sections.clone())
+                    .run(move |p| {
+                        convolution::run_convolution(p, &s, &cfg);
+                    })
+                    .expect("baseline run failed");
+            }
+            _ => {
+                let m = resolve_machine(&args, "knl");
+                // Same *global* problem sequentially: s_global = s * cbrt(p).
+                let s_local = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, args.p)
+                    .expect("validated above");
+                let side = (args.p as f64).cbrt().round() as usize;
+                let sr = base_sections.clone();
+                let cfg = Arc::new(lulesh_proxy::LuleshConfig::timing(
+                    s_local * side,
+                    args.iters,
+                    args.threads,
+                ));
+                WorldBuilder::new(1)
+                    .machine(m)
+                    .seed(args.seed)
+                    .tool(base_sections.clone())
+                    .run(move |p| {
+                        lulesh_proxy::run_lulesh(p, &sr, &cfg);
+                    })
+                    .expect("baseline run failed");
+            }
+        }
+        let comparison = mpi_sections::ProfileComparison::between(
+            &base_profiler.snapshot(),
+            &profile,
+            args.p,
+        );
+        println!("{}", comparison.render());
+        if let Some(binding) = comparison.binding() {
+            println!(
+                "binding constraint: '{}' caps the program at S <= {:.2}\n",
+                binding.label, binding.program_bound
+            );
+        }
+        let overheads = comparison.pure_overheads();
+        if !overheads.is_empty() {
+            let names: Vec<&str> = overheads.iter().map(|s| s.label.as_str()).collect();
+            println!(
+                "pure overheads (zero sequential cost): {}\n",
+                names.join(", ")
+            );
+        }
+    }
+
+    if let Some(path) = &args.trace {
+        std::fs::write(path, trace.to_chrome_trace()).expect("write trace");
+        println!("wrote Chrome trace ({} spans) to {path}", trace.len());
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, trace.to_csv()).expect("write csv");
+        println!("wrote span CSV to {path}");
+    }
+    if let Some(path) = &args.profile_csv {
+        std::fs::write(path, profile.to_csv()).expect("write profile csv");
+        println!("wrote profile CSV to {path}");
+    }
+}

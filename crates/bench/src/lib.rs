@@ -1,0 +1,276 @@
+//! Shared experiment harness: configured runs of the two benchmarks with
+//! section profiling, result rows for every figure, and CSV/table output.
+//!
+//! The `figures` binary (this crate's `src/bin/figures.rs`) drives these
+//! runners to regenerate every table and figure of the paper; the Criterion
+//! benches reuse them for the microbenchmark ablations.
+
+use convolution::{run_convolution, ConvConfig};
+use lulesh_proxy::{run_lulesh, LuleshConfig};
+use machine::MachineModel;
+use mpi_sections::{Profile, SectionProfiler, SectionRuntime, VerifyMode};
+use mpisim::WorldBuilder;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One profiled run of the convolution benchmark.
+#[derive(Debug, Clone)]
+pub struct ConvRun {
+    /// Number of MPI processes.
+    pub p: usize,
+    /// Simulated wall time (makespan) in seconds.
+    pub wall: f64,
+    /// Total time per section, summed across ranks (Fig. 5b), in seconds.
+    pub section_total: BTreeMap<String, f64>,
+}
+
+impl ConvRun {
+    /// Average time per process for a section (Fig. 5c).
+    pub fn avg_per_rank(&self, label: &str) -> f64 {
+        self.section_total.get(label).copied().unwrap_or(0.0) / self.p as f64
+    }
+
+    /// Percentage of execution spent in a section (Fig. 5a): its share of
+    /// the sum of all leaf-section totals.
+    pub fn percent(&self, label: &str) -> f64 {
+        let denom: f64 = self.section_total.values().sum();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        100.0 * self.section_total.get(label).copied().unwrap_or(0.0) / denom
+    }
+}
+
+/// Run the convolution benchmark once at scale `p`, returning averaged
+/// section totals over `seeds` repetitions (the paper averages 20 runs).
+pub fn measure_convolution(
+    p: usize,
+    steps: usize,
+    machine: &MachineModel,
+    seeds: &[u64],
+) -> ConvRun {
+    assert!(!seeds.is_empty());
+    let mut acc: BTreeMap<String, f64> = BTreeMap::new();
+    let mut wall = 0.0;
+    for &seed in seeds {
+        let (profile, makespan) = conv_profile(p, steps, machine, seed);
+        wall += makespan;
+        for label in convolution::SECTIONS {
+            let t = profile
+                .get_world(label)
+                .map(|s| s.total_own_secs)
+                .unwrap_or(0.0);
+            *acc.entry(label.to_string()).or_insert(0.0) += t;
+        }
+    }
+    let n = seeds.len() as f64;
+    acc.values_mut().for_each(|v| *v /= n);
+    ConvRun {
+        p,
+        wall: wall / n,
+        section_total: acc,
+    }
+}
+
+/// One convolution run, returning the full section profile.
+pub fn conv_profile(
+    p: usize,
+    steps: usize,
+    machine: &MachineModel,
+    seed: u64,
+) -> (Profile, f64) {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+    let cfg = Arc::new(ConvConfig::paper(steps));
+    let report = WorldBuilder::new(p)
+        .machine(machine.clone())
+        .seed(seed)
+        .tool(sections.clone())
+        .run(move |pr| {
+            run_convolution(pr, &s, &cfg);
+        })
+        .expect("convolution run failed");
+    (profiler.snapshot(), report.makespan_secs())
+}
+
+/// One profiled run of the LULESH proxy.
+#[derive(Debug, Clone)]
+pub struct LuleshRun {
+    pub p: usize,
+    pub threads: usize,
+    /// `timeloop` average time per process (the "Walltime" series of
+    /// Figs. 8–10), in seconds.
+    pub walltime: f64,
+    /// `LagrangeNodal` average time per process.
+    pub nodal: f64,
+    /// `LagrangeElements` average time per process.
+    pub elements: f64,
+}
+
+/// Run the LULESH proxy in the given hybrid configuration (timing
+/// fidelity) and extract the Fig. 8–10 series.
+pub fn measure_lulesh(
+    p: usize,
+    s: usize,
+    iterations: usize,
+    threads: usize,
+    machine: &MachineModel,
+    seed: u64,
+) -> LuleshRun {
+    let profile = lulesh_profile(p, s, iterations, threads, machine, seed);
+    let avg = |label: &str| {
+        profile
+            .get_world(label)
+            .map(|st| st.avg_per_rank_secs())
+            .unwrap_or(0.0)
+    };
+    LuleshRun {
+        p,
+        threads,
+        walltime: avg("timeloop"),
+        nodal: avg("LagrangeNodal"),
+        elements: avg("LagrangeElements"),
+    }
+}
+
+/// One LULESH-proxy run, returning the full section profile.
+pub fn lulesh_profile(
+    p: usize,
+    s: usize,
+    iterations: usize,
+    threads: usize,
+    machine: &MachineModel,
+    seed: u64,
+) -> Profile {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let sh = sections.clone();
+    let cfg = Arc::new(LuleshConfig::timing(s, iterations, threads));
+    WorldBuilder::new(p)
+        .machine(machine.clone())
+        .seed(seed)
+        .tool(sections.clone())
+        .run(move |pr| {
+            run_lulesh(pr, &sh, &cfg);
+        })
+        .expect("lulesh run failed");
+    profiler.snapshot()
+}
+
+// ---------------------------------------------------------------------
+// Output helpers
+// ---------------------------------------------------------------------
+
+/// Write rows as CSV under `results/` (creating the directory), returning
+/// the path written.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Render an aligned text table (header + rows) to a string.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with 2 decimals (table cells).
+pub fn f2(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_measurement_smoke() {
+        let m = machine::presets::nehalem_cluster();
+        let run = measure_convolution(4, 5, &m, &[1, 2]);
+        assert_eq!(run.p, 4);
+        assert!(run.wall > 0.0);
+        assert!(run.section_total["CONVOLVE"] > 0.0);
+        let pct_sum: f64 = convolution::SECTIONS.iter().map(|l| run.percent(l)).sum();
+        assert!((pct_sum - 100.0).abs() < 1e-6, "{pct_sum}");
+    }
+
+    #[test]
+    fn lulesh_measurement_smoke() {
+        let m = machine::presets::knl();
+        let run = measure_lulesh(1, 8, 3, 2, &m, 1);
+        assert!(run.walltime > 0.0);
+        assert!(run.nodal > 0.0 && run.elements > 0.0);
+        assert!(run.nodal + run.elements < run.walltime * 1.01);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let t = render_table(
+            &["p", "time"],
+            &[
+                vec!["1".into(), "10.00".into()],
+                vec!["64".into(), "0.50".into()],
+            ],
+        );
+        assert!(t.contains(" p   time"));
+        assert!(t.contains("64   0.50"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("bench-csv-test");
+        let path = write_csv(
+            &dir,
+            "test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,270 @@
+//! RGB images in double precision, with a tiny PPM codec and the sequential
+//! reference convolution.
+//!
+//! The paper's benchmark loads a 5616×3744 three-channel image stored in
+//! double precision and applies a mean filter repeatedly. We cannot ship
+//! the original photograph, so [`Image::synthetic`] generates a
+//! deterministic test pattern with enough structure for convolution
+//! results to be meaningfully checked, and the codec reads/writes binary
+//! PPM (P6) so LOAD/STORE exercise a real file round-trip.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Number of channels (fixed: RGB, as in the paper).
+pub const CHANNELS: usize = 3;
+
+/// A row-major, channel-interleaved RGB image of `f64` samples in [0, 1].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Samples: `data[(y*width + x)*3 + c]`.
+    pub data: Vec<f64>,
+}
+
+impl Image {
+    /// An all-zero image.
+    pub fn zeros(width: usize, height: usize) -> Image {
+        Image {
+            width,
+            height,
+            data: vec![0.0; width * height * CHANNELS],
+        }
+    }
+
+    /// A deterministic synthetic test pattern (smooth gradients plus a
+    /// checkerboard component, different per channel).
+    pub fn synthetic(width: usize, height: usize) -> Image {
+        let mut img = Image::zeros(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let fx = x as f64 / width.max(1) as f64;
+                let fy = y as f64 / height.max(1) as f64;
+                let checker = ((x / 4 + y / 4) % 2) as f64;
+                let base = img.index(x, y, 0);
+                img.data[base] = 0.5 * fx + 0.25 * checker;
+                img.data[base + 1] = 0.5 * fy + 0.25 * (1.0 - checker);
+                img.data[base + 2] = 0.25 * (fx + fy) + 0.25 * checker * fy;
+            }
+        }
+        img
+    }
+
+    /// Flat index of `(x, y, channel)`.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, c: usize) -> usize {
+        (y * self.width + x) * CHANNELS + c
+    }
+
+    /// Sample with clamped (edge-replicating) coordinates.
+    #[inline]
+    pub fn sample_clamped(&self, x: isize, y: isize, c: usize) -> f64 {
+        let xc = x.clamp(0, self.width as isize - 1) as usize;
+        let yc = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[self.index(xc, yc, c)]
+    }
+
+    /// Total number of samples (width × height × 3).
+    pub fn samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Logical size in bytes at double precision.
+    pub fn bytes(&self) -> usize {
+        self.samples() * std::mem::size_of::<f64>()
+    }
+
+    /// The rows `start..end` as a contiguous sample slice.
+    pub fn rows(&self, start: usize, end: usize) -> &[f64] {
+        &self.data[start * self.width * CHANNELS..end * self.width * CHANNELS]
+    }
+
+    /// Simple checksum (mean of all samples) for cross-validation.
+    pub fn checksum(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// One step of the 3×3 mean filter over the full image, with clamped
+    /// borders — the sequential reference for correctness tests.
+    pub fn mean_filter_step(&self) -> Image {
+        let mut out = Image::zeros(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                for c in 0..CHANNELS {
+                    let mut acc = 0.0;
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            acc += self.sample_clamped(x as isize + dx, y as isize + dy, c);
+                        }
+                    }
+                    let idx = out.index(x, y, c);
+                    out.data[idx] = acc / 9.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// `steps` mean-filter iterations (sequential reference).
+    pub fn mean_filter(&self, steps: usize) -> Image {
+        let mut img = self.clone();
+        for _ in 0..steps {
+            img = img.mean_filter_step();
+        }
+        img
+    }
+
+    /// Write as binary PPM (P6), quantizing each sample to 8 bits with
+    /// clamping to [0, 1].
+    pub fn write_ppm(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(w, "P6\n{} {}\n255", self.width, self.height)?;
+        let mut row = Vec::with_capacity(self.width * CHANNELS);
+        for y in 0..self.height {
+            row.clear();
+            for x in 0..self.width {
+                for c in 0..CHANNELS {
+                    let v = self.data[self.index(x, y, c)].clamp(0.0, 1.0);
+                    row.push((v * 255.0).round() as u8);
+                }
+            }
+            w.write_all(&row)?;
+        }
+        w.flush()
+    }
+
+    /// Read a binary PPM (P6) written by [`Image::write_ppm`].
+    pub fn read_ppm(path: &Path) -> std::io::Result<Image> {
+        let file = std::fs::File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut header = String::new();
+        // Magic, dimensions, maxval — each on its own line as we write them.
+        r.read_line(&mut header)?;
+        if header.trim() != "P6" {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a P6 PPM",
+            ));
+        }
+        let mut dims = String::new();
+        r.read_line(&mut dims)?;
+        let mut parts = dims.split_whitespace();
+        let parse = |s: Option<&str>| -> std::io::Result<usize> {
+            s.and_then(|v| v.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad PPM dimensions")
+            })
+        };
+        let width = parse(parts.next())?;
+        let height = parse(parts.next())?;
+        let mut maxval = String::new();
+        r.read_line(&mut maxval)?;
+        let maxval: f64 = maxval.trim().parse().map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad PPM maxval")
+        })?;
+        let mut raw = vec![0u8; width * height * CHANNELS];
+        r.read_exact(&mut raw)?;
+        let data = raw.iter().map(|&b| b as f64 / maxval).collect();
+        Ok(Image {
+            width,
+            height,
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_bounded() {
+        let a = Image::synthetic(32, 24);
+        let b = Image::synthetic(32, 24);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(a.samples(), 32 * 24 * 3);
+        assert_eq!(a.bytes(), 32 * 24 * 3 * 8);
+    }
+
+    #[test]
+    fn clamped_sampling() {
+        let img = Image::synthetic(8, 8);
+        assert_eq!(img.sample_clamped(-5, 0, 0), img.sample_clamped(0, 0, 0));
+        assert_eq!(img.sample_clamped(7, 99, 2), img.sample_clamped(7, 7, 2));
+    }
+
+    #[test]
+    fn mean_filter_preserves_constant_images() {
+        let mut img = Image::zeros(16, 16);
+        img.data.iter_mut().for_each(|v| *v = 0.7);
+        let out = img.mean_filter(5);
+        assert!(out.data.iter().all(|&v| (v - 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mean_filter_smooths_checkerboard() {
+        let img = Image::synthetic(32, 32);
+        let before = variance(&img);
+        let after = variance(&img.mean_filter(3));
+        assert!(after < before, "filter must reduce variance");
+    }
+
+    fn variance(img: &Image) -> f64 {
+        let mean = img.checksum();
+        img.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / img.samples() as f64
+    }
+
+    #[test]
+    fn mean_filter_approximately_preserves_mean() {
+        // Clamped borders re-weight edges slightly; the interior dominates.
+        let img = Image::synthetic(64, 64);
+        let before = img.checksum();
+        let after = img.mean_filter(2).checksum();
+        assert!((before - after).abs() < 0.01, "{before} vs {after}");
+    }
+
+    #[test]
+    fn rows_slicing() {
+        let img = Image::synthetic(8, 6);
+        let band = img.rows(2, 5);
+        assert_eq!(band.len(), 3 * 8 * 3);
+        assert_eq!(band[0], img.data[img.index(0, 2, 0)]);
+    }
+
+    #[test]
+    fn ppm_roundtrip_within_quantization() {
+        let dir = std::env::temp_dir().join("convolution-ppm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ppm");
+        let img = Image::synthetic(20, 10);
+        img.write_ppm(&path).unwrap();
+        let back = Image::read_ppm(&path).unwrap();
+        assert_eq!(back.width, 20);
+        assert_eq!(back.height, 10);
+        let max_err = img
+            .data
+            .iter()
+            .zip(back.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err <= 1.0 / 255.0 + 1e-9, "max_err {max_err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let dir = std::env::temp_dir().join("convolution-ppm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ppm");
+        std::fs::write(&path, b"not a ppm at all").unwrap();
+        assert!(Image::read_ppm(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,172 @@
+//! The distributed 3×3 mean-filter stencil on a row band, plus the cost
+//! model constants shared by both fidelity modes.
+
+use crate::image::CHANNELS;
+use machine::Work;
+
+/// Floating-point operations charged per channel-sample per step (9-tap
+/// accumulate at 2 flops per tap — the unvectorized inner loop the paper's
+/// 5.6 s-per-sweep sequential time implies).
+pub const FLOPS_PER_SAMPLE: f64 = 18.0;
+
+/// Memory traffic charged per channel-sample per step (one read stream plus
+/// one write stream of doubles).
+pub const BYTES_PER_SAMPLE: f64 = 16.0;
+
+/// Cost per channel-sample of the image codec (LOAD decode / STORE encode).
+pub const CODEC_FLOPS_PER_SAMPLE: f64 = 10.0;
+/// Codec memory traffic per channel-sample.
+pub const CODEC_BYTES_PER_SAMPLE: f64 = 10.0;
+
+/// Work of one convolution step over `samples` channel-samples.
+pub fn convolve_work(samples: usize) -> Work {
+    Work::new(
+        samples as f64 * FLOPS_PER_SAMPLE,
+        samples as f64 * BYTES_PER_SAMPLE,
+    )
+}
+
+/// Work of encoding or decoding `samples` channel-samples.
+pub fn codec_work(samples: usize) -> Work {
+    Work::new(
+        samples as f64 * CODEC_FLOPS_PER_SAMPLE,
+        samples as f64 * CODEC_BYTES_PER_SAMPLE,
+    )
+}
+
+/// One 3×3 mean-filter step over a band of `rows` image rows of `width`
+/// pixels, given the neighbouring halo rows.
+///
+/// `top`/`bottom` are the adjacent rows owned by the neighbouring ranks
+/// (one row of `width * 3` samples each); `None` at the global image
+/// borders, where the filter clamps vertically — so a p-rank run computes
+/// *exactly* what the sequential reference computes.
+pub fn convolve_band(
+    band: &[f64],
+    width: usize,
+    rows: usize,
+    top: Option<&[f64]>,
+    bottom: Option<&[f64]>,
+) -> Vec<f64> {
+    let stride = width * CHANNELS;
+    assert_eq!(band.len(), rows * stride, "band size mismatch");
+    if let Some(t) = top {
+        assert_eq!(t.len(), stride, "top halo size mismatch");
+    }
+    if let Some(b) = bottom {
+        assert_eq!(b.len(), stride, "bottom halo size mismatch");
+    }
+    let mut out = vec![0.0f64; rows * stride];
+    if rows == 0 || width == 0 {
+        return out;
+    }
+    // Resolve the source row for a (possibly out-of-band) row index.
+    let row_at = |y: isize| -> &[f64] {
+        if y < 0 {
+            match top {
+                Some(t) => t,
+                None => &band[0..stride], // clamp at global top
+            }
+        } else if y as usize >= rows {
+            match bottom {
+                Some(b) => b,
+                None => &band[(rows - 1) * stride..rows * stride], // global bottom
+            }
+        } else {
+            &band[y as usize * stride..(y as usize + 1) * stride]
+        }
+    };
+    for y in 0..rows as isize {
+        let rows3 = [row_at(y - 1), row_at(y), row_at(y + 1)];
+        let out_row = &mut out[y as usize * stride..(y as usize + 1) * stride];
+        for x in 0..width as isize {
+            for c in 0..CHANNELS {
+                let mut acc = 0.0;
+                for row in rows3 {
+                    for dx in -1isize..=1 {
+                        let xc = (x + dx).clamp(0, width as isize - 1) as usize;
+                        acc += row[xc * CHANNELS + c];
+                    }
+                }
+                out_row[x as usize * CHANNELS + c] = acc / 9.0;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    /// Split an image into bands, convolve each with true halo rows, and
+    /// compare against the full-image reference.
+    fn banded_equals_reference(width: usize, height: usize, nbands: usize) {
+        let img = Image::synthetic(width, height);
+        let reference = img.mean_filter_step();
+        let stride = width * CHANNELS;
+        // Contiguous row split.
+        let base = height / nbands;
+        let extra = height % nbands;
+        let mut start = 0;
+        for b in 0..nbands {
+            let rows = base + usize::from(b < extra);
+            let end = start + rows;
+            if rows == 0 {
+                continue;
+            }
+            let band = img.rows(start, end);
+            let top = (start > 0).then(|| img.rows(start - 1, start));
+            let bottom = (end < height).then(|| img.rows(end, end + 1));
+            let out = convolve_band(band, width, rows, top, bottom);
+            let expect = reference.rows(start, end);
+            for (i, (a, e)) in out.iter().zip(expect.iter()).enumerate() {
+                assert!(
+                    (a - e).abs() < 1e-12,
+                    "band {b} sample {i}: {a} vs {e} (start {start})"
+                );
+            }
+            start = end;
+        }
+        let _ = stride;
+    }
+
+    #[test]
+    fn single_band_matches_reference() {
+        banded_equals_reference(16, 12, 1);
+    }
+
+    #[test]
+    fn multi_band_matches_reference() {
+        banded_equals_reference(16, 12, 3);
+        banded_equals_reference(9, 17, 4);
+    }
+
+    #[test]
+    fn more_bands_than_even_rows() {
+        banded_equals_reference(8, 10, 7);
+    }
+
+    #[test]
+    fn empty_band_is_empty() {
+        let out = convolve_band(&[], 4, 0, None, None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "band size mismatch")]
+    fn size_mismatch_panics() {
+        let _ = convolve_band(&[0.0; 10], 4, 1, None, None);
+    }
+
+    #[test]
+    fn work_constants() {
+        let w = convolve_work(100);
+        assert_eq!(w.flops, 1800.0);
+        assert_eq!(w.bytes, 1600.0);
+        let c = codec_work(10);
+        assert_eq!(c.flops, 100.0);
+        assert_eq!(c.bytes, 100.0);
+    }
+}

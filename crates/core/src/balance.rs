@@ -1,0 +1,209 @@
+//! The section load-balance analysis interface — the paper's §8 future
+//! work: "We are in the process of developing an MPI Section analysis
+//! interface describing the load-balancing of Sections as shown in
+//! Figure 3."
+//!
+//! Given a profiled section's per-rank time distribution, [`BalanceReport`]
+//! derives the classic balance metrics a tool would display: the imbalance
+//! factor `max/mean` (1.0 = perfect), the percent imbalance
+//! `(max - mean)/max` (the fraction of the critical path spent waiting in
+//! a balanced world), the Gini coefficient of the distribution, and the
+//! most/least loaded ranks.
+
+use crate::profiler::SectionStats;
+
+/// Load-balance diagnosis of one section across its ranks.
+///
+/// ```
+/// use mpi_sections::BalanceReport;
+/// // Rank 3 does double work: rebalancing would save 0.75 s of the
+/// // 2 s critical path.
+/// let r = BalanceReport::from_distribution("EOS", &[1.0, 1.0, 1.0, 2.0]).unwrap();
+/// assert_eq!(r.max, (3, 2.0));
+/// assert!((r.potential_saving_secs() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    /// The section's label.
+    pub label: String,
+    /// Ranks contributing (communicator size).
+    pub ranks: usize,
+    /// Mean per-rank inclusive time, seconds.
+    pub mean_secs: f64,
+    /// Minimum per-rank time and the rank achieving it.
+    pub min: (usize, f64),
+    /// Maximum per-rank time and the rank achieving it.
+    pub max: (usize, f64),
+    /// Imbalance factor `max / mean` (>= 1; 1 is perfect balance).
+    pub imbalance_factor: f64,
+    /// Percent imbalance `(max - mean) / max`, in `[0, 1)`. This equals
+    /// the fraction of the slowest rank's time that perfect rebalancing
+    /// would save.
+    pub percent_imbalance: f64,
+    /// Gini coefficient of the per-rank distribution, in `[0, 1)`.
+    pub gini: f64,
+    /// Standard deviation of per-rank times, seconds.
+    pub stddev_secs: f64,
+}
+
+impl BalanceReport {
+    /// Analyse a per-rank time distribution (seconds per rank).
+    pub fn from_distribution(label: &str, per_rank: &[f64]) -> Option<BalanceReport> {
+        if per_rank.is_empty() {
+            return None;
+        }
+        let n = per_rank.len();
+        let total: f64 = per_rank.iter().sum();
+        let mean = total / n as f64;
+        let (mut min_r, mut min_v) = (0usize, f64::INFINITY);
+        let (mut max_r, mut max_v) = (0usize, f64::NEG_INFINITY);
+        for (r, &v) in per_rank.iter().enumerate() {
+            if v < min_v {
+                min_r = r;
+                min_v = v;
+            }
+            if v > max_v {
+                max_r = r;
+                max_v = v;
+            }
+        }
+        let var = per_rank.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let gini = gini_coefficient(per_rank);
+        Some(BalanceReport {
+            label: label.to_string(),
+            ranks: n,
+            mean_secs: mean,
+            min: (min_r, min_v),
+            max: (max_r, max_v),
+            imbalance_factor: if mean > 0.0 { max_v / mean } else { 1.0 },
+            percent_imbalance: if max_v > 0.0 { (max_v - mean) / max_v } else { 0.0 },
+            gini,
+            stddev_secs: var.sqrt(),
+        })
+    }
+
+    /// Analyse a profiled section's inclusive-time distribution.
+    pub fn for_section(stats: &SectionStats) -> Option<BalanceReport> {
+        BalanceReport::from_distribution(&stats.key.label, &stats.per_rank_own)
+    }
+
+    /// The time perfect rebalancing would save on the critical path, in
+    /// seconds: `max - mean`.
+    pub fn potential_saving_secs(&self) -> f64 {
+        (self.max.1 - self.mean_secs).max(0.0)
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ranks, mean {:.3}s, max {:.3}s on rank {}, \
+             imbalance x{:.2} ({:.1}% of critical path), gini {:.3}",
+            self.label,
+            self.ranks,
+            self.mean_secs,
+            self.max.1,
+            self.max.0,
+            self.imbalance_factor,
+            self.percent_imbalance * 100.0,
+            self.gini,
+        )
+    }
+}
+
+/// Gini coefficient of a non-negative distribution (0 = all equal).
+fn gini_coefficient(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // G = (2 * Σ_i i*x_i) / (n * Σ x) - (n + 1)/n with 1-based i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Rank all sections of a profile by potential rebalancing saving,
+/// largest first — "where should I look first".
+pub fn rank_by_saving(profile: &crate::Profile) -> Vec<BalanceReport> {
+    let mut out: Vec<BalanceReport> = profile
+        .sections()
+        .filter(|s| s.key.label != crate::section::MPI_MAIN)
+        .filter_map(BalanceReport::for_section)
+        .collect();
+    out.sort_by(|a, b| {
+        b.potential_saving_secs()
+            .partial_cmp(&a.potential_saving_secs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced() {
+        let r = BalanceReport::from_distribution("x", &[2.0, 2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(r.imbalance_factor, 1.0);
+        assert_eq!(r.percent_imbalance, 0.0);
+        assert!(r.gini.abs() < 1e-12);
+        assert_eq!(r.stddev_secs, 0.0);
+        assert_eq!(r.potential_saving_secs(), 0.0);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        // Rank 3 does double work.
+        let r = BalanceReport::from_distribution("x", &[1.0, 1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(r.max, (3, 2.0));
+        assert_eq!(r.min.1, 1.0);
+        assert!((r.mean_secs - 1.25).abs() < 1e-12);
+        assert!((r.imbalance_factor - 1.6).abs() < 1e-12);
+        assert!((r.percent_imbalance - 0.375).abs() < 1e-12);
+        assert!((r.potential_saving_secs() - 0.75).abs() < 1e-12);
+        assert!(r.gini > 0.0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini_coefficient(&[1.0, 1.0, 1.0]) < 1e-12);
+        // All load on one rank out of many: G -> (n-1)/n.
+        let mut v = vec![0.0; 10];
+        v[0] = 5.0;
+        let g = gini_coefficient(&v);
+        assert!((g - 0.9).abs() < 1e-9, "{g}");
+        assert_eq!(gini_coefficient(&[1.0]), 0.0);
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        assert!(BalanceReport::from_distribution("x", &[]).is_none());
+    }
+
+    #[test]
+    fn zero_work_is_balanced() {
+        let r = BalanceReport::from_distribution("x", &[0.0, 0.0]).unwrap();
+        assert_eq!(r.imbalance_factor, 1.0);
+        assert_eq!(r.percent_imbalance, 0.0);
+    }
+
+    #[test]
+    fn summary_contains_essentials() {
+        let r = BalanceReport::from_distribution("HALO", &[1.0, 3.0]).unwrap();
+        let s = r.summary();
+        assert!(s.contains("HALO"));
+        assert!(s.contains("rank 1"));
+    }
+}

@@ -1,0 +1,138 @@
+//! An IPM-style `MPI_Pcontrol` phase adapter — the related-work comparison
+//! of §6.
+//!
+//! IPM outlines phases by overloading `MPI_Pcontrol(level)`: a positive
+//! level opens "phase `level`", the matching negative level closes it. The
+//! paper's criticism: "as the Pcontrol semantic is not defined by the MPI
+//! standard, actions (enter and leave) have to be manually encoded and
+//! therefore dependent from the target tool."
+//!
+//! [`PcontrolAdapter`] makes that comparison concrete: it is an `mpisim`
+//! tool that decodes exactly this convention and forwards it into a
+//! [`SectionRuntime`], so Pcontrol-instrumented code gets section profiles
+//! too — while exhibiting the limitations the paper lists: integer levels
+//! instead of semantic labels, no communicator scoping (everything lands
+//! on the world communicator), and no tool-portable meaning.
+
+use crate::section::SectionRuntime;
+use mpisim::{Comm, MpiEvent, Proc, Tool};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Decodes IPM-convention `MPI_Pcontrol` calls into world-communicator
+/// sections named `PCONTROL_<level>`.
+pub struct PcontrolAdapter {
+    runtime: Arc<SectionRuntime>,
+    /// World size, learnt at Init (Pcontrol itself carries no comm info —
+    /// one of the deficiencies the paper points out).
+    world_size: Mutex<usize>,
+}
+
+impl PcontrolAdapter {
+    /// Wrap a section runtime.
+    pub fn new(runtime: Arc<SectionRuntime>) -> Arc<PcontrolAdapter> {
+        Arc::new(PcontrolAdapter {
+            runtime,
+            world_size: Mutex::new(0),
+        })
+    }
+
+    /// The label synthesized for a level.
+    pub fn label_for(level: i32) -> String {
+        format!("PCONTROL_{}", level.abs())
+    }
+}
+
+impl Tool for PcontrolAdapter {
+    fn on_event(&self, world_rank: usize, event: &MpiEvent) {
+        match event {
+            MpiEvent::Init { size, .. } => {
+                *self.world_size.lock() = *size;
+            }
+            MpiEvent::Pcontrol { level, time } => {
+                let size = *self.world_size.lock();
+                match level.cmp(&0) {
+                    std::cmp::Ordering::Greater => self.runtime.enter_world_section(
+                        world_rank,
+                        size,
+                        &Self::label_for(*level),
+                        *time,
+                    ),
+                    std::cmp::Ordering::Less => self.runtime.exit_world_section(
+                        world_rank,
+                        size,
+                        &Self::label_for(*level),
+                        *time,
+                    ),
+                    // Level 0: IPM's "disable" — ignored here.
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Convenience for instrumenting code the IPM way.
+pub fn mpi_pcontrol(p: &Proc, _comm: &Comm, level: i32) {
+    // The comm argument is deliberately unused: MPI_Pcontrol has no
+    // communicator parameter — the point of the comparison.
+    p.pcontrol(level);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SectionProfiler, VerifyMode};
+    use mpisim::WorldBuilder;
+
+    #[test]
+    fn pcontrol_phases_show_up_as_sections() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let profiler = SectionProfiler::new();
+        sections.attach(profiler.clone());
+        let adapter = PcontrolAdapter::new(sections.clone());
+        WorldBuilder::new(3)
+            .tool(sections.clone())
+            .tool(adapter)
+            .run(|p| {
+                p.pcontrol(1); // open phase 1
+                p.advance_secs(2.0);
+                p.pcontrol(-1); // close phase 1
+                p.pcontrol(0); // IPM "off" — no effect
+                p.pcontrol(7);
+                p.advance_secs(1.0);
+                p.pcontrol(-7);
+            })
+            .unwrap();
+        let profile = profiler.snapshot();
+        let ph1 = profile.get_world("PCONTROL_1").expect("phase 1 profiled");
+        assert_eq!(ph1.instances, 1);
+        assert!((ph1.total_own_secs - 6.0).abs() < 1e-9); // 3 ranks x 2 s
+        let ph7 = profile.get_world("PCONTROL_7").expect("phase 7 profiled");
+        assert!((ph7.total_own_secs - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_pcontrol_nesting_is_caught() {
+        // The section runtime's nesting check still protects Pcontrol
+        // users: closing the wrong level aborts.
+        let sections = SectionRuntime::new(VerifyMode::Off);
+        let adapter = PcontrolAdapter::new(sections.clone());
+        let result = WorldBuilder::new(1)
+            .tool(sections.clone())
+            .tool(adapter)
+            .run(|p| {
+                p.pcontrol(1);
+                p.pcontrol(2);
+                p.pcontrol(-1); // wrong: 2 is innermost
+            });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PcontrolAdapter::label_for(3), "PCONTROL_3");
+        assert_eq!(PcontrolAdapter::label_for(-3), "PCONTROL_3");
+    }
+}

@@ -1,0 +1,575 @@
+//! The `MPI_Section` runtime: per-communicator nesting stacks, invariant
+//! verification, and tool notification.
+//!
+//! This is the reference implementation the paper describes in §4: "Our
+//! reference implementation simply manipulates a stack of contexts for each
+//! communicator, calling tool callbacks upon enter and exit events." The
+//! 32-byte `data` blob of the callback interface (Fig. 2) is owned by the
+//! runtime and preserved between the enter and the matching leave.
+//!
+//! Invariants enforced (the paper's "non-intrusive synchronization
+//! primitives which could be selectively enabled"):
+//!
+//! * **Perfect nesting** (always on — it is a local check): the label of an
+//!   exit must match the innermost open section on that communicator.
+//! * **Collective consistency** ([`VerifyMode::Active`], the default):
+//!   every rank of a communicator must traverse the same sequence of
+//!   section enters/exits. The check shares a per-communicator event log
+//!   guarded by a mutex — no time synchronization is introduced, only
+//!   detection. This is the paper's "selectively enabled" switch: pass
+//!   [`VerifyMode::Off`] for production-scale sweeps, where the shared
+//!   log's lock traffic and growth are measurable.
+
+use crate::tool::{EnterInfo, LeaveInfo, SectionTool};
+use machine::VTime;
+use mpisim::{Comm, CommId, MpiEvent, Proc, SectionData, Tool};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The label of the implicit outermost section, entered at `MPI_Init` and
+/// left at `MPI_Finalize` (paper §4).
+pub const MPI_MAIN: &str = "MPI_MAIN";
+
+/// Whether cross-rank section-ordering verification is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// No cross-rank checking (production profile, zero shared state).
+    /// Use this for large sweeps: verification funnels every enter/exit
+    /// through one shared log.
+    Off,
+    /// Shared-log verification of section order across ranks (default:
+    /// misuse should be loud while developing).
+    #[default]
+    Active,
+}
+
+/// One open section on one rank.
+struct Frame {
+    label: Arc<str>,
+    data: SectionData,
+    enter: VTime,
+    /// Virtual time spent in already-closed child sections (for exclusive
+    /// time computation).
+    child_time: VTime,
+    /// Occurrence index of this (comm, label) pair on this rank.
+    occurrence: u64,
+}
+
+/// Per-rank, per-communicator section state.
+#[derive(Default)]
+struct RankComms {
+    /// Open-section stack per communicator.
+    stacks: HashMap<CommId, Vec<Frame>>,
+    /// Occurrence counters per (communicator, label).
+    occurrences: HashMap<(CommId, Arc<str>), u64>,
+}
+
+/// One record of the shared verification log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VerifyEvent {
+    Enter(Arc<str>),
+    Exit(Arc<str>),
+}
+
+/// Shared verification state of one communicator.
+#[derive(Default)]
+struct CommVerify {
+    /// The agreed sequence of section events (grown by the first rank to
+    /// perform each step).
+    log: Vec<VerifyEvent>,
+    /// How far each world rank has progressed through the log.
+    position: HashMap<usize, usize>,
+}
+
+const SHARDS: usize = 64;
+
+/// The section runtime. Register it as an `mpisim` tool (for the implicit
+/// `MPI_MAIN` section) and call [`SectionRuntime::enter`]/[`exit`] from the
+/// application — or the `MPIX_*` free functions in the crate root for
+/// paper-faithful spelling.
+///
+/// [`exit`]: SectionRuntime::exit
+pub struct SectionRuntime {
+    /// Rank state, sharded by world rank to keep enter/exit non-intrusive.
+    shards: Vec<Mutex<HashMap<usize, RankComms>>>,
+    verify: VerifyMode,
+    verify_state: Mutex<HashMap<CommId, CommVerify>>,
+    tools: Mutex<Vec<Arc<dyn SectionTool>>>,
+}
+
+impl SectionRuntime {
+    /// A runtime with the given verification mode and no tools.
+    pub fn new(verify: VerifyMode) -> Arc<SectionRuntime> {
+        Arc::new(SectionRuntime {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            verify,
+            verify_state: Mutex::new(HashMap::new()),
+            tools: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Attach a section tool (profiler, debugger, trace writer).
+    pub fn attach(&self, tool: Arc<dyn SectionTool>) {
+        self.tools.lock().push(tool);
+    }
+
+    /// Enter a section on `comm`. Asynchronous collective: no rank blocks,
+    /// but all ranks of `comm` must perform the same call.
+    pub fn enter(&self, p: &mut Proc, comm: &Comm, label: &str) {
+        let info = CommInfo {
+            id: comm.id(),
+            size: comm.size(),
+            rank: comm.rank(),
+        };
+        self.enter_at(p.world_rank(), info, label, p.now());
+        // Raise the PMPI-level event so generic mpisim tools also see it.
+        p.raise(MpiEvent::SectionEnter {
+            comm: comm.id(),
+            comm_size: comm.size(),
+            comm_rank: comm.rank(),
+            label: Arc::from(label),
+            data: [0; 32],
+            time: p.now(),
+        });
+    }
+
+    /// Exit a section on `comm`. The label must match the innermost open
+    /// section (perfect nesting, paper §4).
+    pub fn exit(&self, p: &mut Proc, comm: &Comm, label: &str) {
+        let info = CommInfo {
+            id: comm.id(),
+            size: comm.size(),
+            rank: comm.rank(),
+        };
+        let data = self.exit_at(p.world_rank(), info, label, p.now());
+        p.raise(MpiEvent::SectionLeave {
+            comm: comm.id(),
+            comm_size: comm.size(),
+            comm_rank: comm.rank(),
+            label: Arc::from(label),
+            data,
+            time: p.now(),
+        });
+    }
+
+    /// Run `body` inside a section (exit guaranteed on normal return).
+    pub fn scoped<R>(
+        &self,
+        p: &mut Proc,
+        comm: &Comm,
+        label: &str,
+        body: impl FnOnce(&mut Proc) -> R,
+    ) -> R {
+        self.enter(p, comm, label);
+        let out = body(p);
+        self.exit(p, comm, label);
+        out
+    }
+
+    /// Enter a world-communicator section on behalf of a rank from a tool
+    /// context (no `Proc` at hand) — used by adapters such as
+    /// [`crate::pcontrol::PcontrolAdapter`]. PMPI-level section events are
+    /// *not* re-raised (the caller is already below the PMPI layer).
+    pub fn enter_world_section(
+        &self,
+        world_rank: usize,
+        world_size: usize,
+        label: &str,
+        time: VTime,
+    ) {
+        self.enter_at(
+            world_rank,
+            CommInfo {
+                id: CommId::WORLD,
+                size: world_size,
+                rank: world_rank,
+            },
+            label,
+            time,
+        );
+    }
+
+    /// Counterpart of [`SectionRuntime::enter_world_section`].
+    pub fn exit_world_section(
+        &self,
+        world_rank: usize,
+        world_size: usize,
+        label: &str,
+        time: VTime,
+    ) {
+        let _ = self.exit_at(
+            world_rank,
+            CommInfo {
+                id: CommId::WORLD,
+                size: world_size,
+                rank: world_rank,
+            },
+            label,
+            time,
+        );
+    }
+
+    /// Depth of open sections for a rank on a communicator (diagnostics).
+    pub fn depth(&self, world_rank: usize, comm: CommId) -> usize {
+        let shard = self.shards[world_rank % SHARDS].lock();
+        shard
+            .get(&world_rank)
+            .and_then(|rc| rc.stacks.get(&comm))
+            .map_or(0, |s| s.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn enter_at(&self, world_rank: usize, comm: CommInfo, label: &str, now: VTime) {
+        let label: Arc<str> = Arc::from(label);
+        self.verify_step(world_rank, comm.id, VerifyEvent::Enter(label.clone()));
+        let (occurrence, depth) = {
+            let mut shard = self.shards[world_rank % SHARDS].lock();
+            let rc = shard.entry(world_rank).or_default();
+            let counter = rc
+                .occurrences
+                .entry((comm.id, label.clone()))
+                .or_insert(0);
+            let occurrence = *counter;
+            *counter += 1;
+            let stack = rc.stacks.entry(comm.id).or_default();
+            let depth = stack.len();
+            stack.push(Frame {
+                label: label.clone(),
+                data: [0; 32],
+                enter: now,
+                child_time: VTime::ZERO,
+                occurrence,
+            });
+            (occurrence, depth)
+        };
+        let info = EnterInfo {
+            world_rank,
+            comm: comm.id,
+            comm_size: comm.size,
+            comm_rank: comm.rank,
+            label: label.clone(),
+            time: now,
+            occurrence,
+            depth,
+        };
+        // Tools may write their context into the 32-byte blob; the runtime
+        // stores whatever they leave there.
+        let mut data = [0u8; 32];
+        for tool in self.tools.lock().iter() {
+            tool.on_enter(&info, &mut data);
+        }
+        if data != [0u8; 32] {
+            let mut shard = self.shards[world_rank % SHARDS].lock();
+            if let Some(frame) = shard
+                .get_mut(&world_rank)
+                .and_then(|rc| rc.stacks.get_mut(&comm.id))
+                .and_then(|s| s.last_mut())
+            {
+                frame.data = data;
+            }
+        }
+    }
+
+    fn exit_at(
+        &self,
+        world_rank: usize,
+        comm: CommInfo,
+        label: &str,
+        now: VTime,
+    ) -> SectionData {
+        let label: Arc<str> = Arc::from(label);
+        self.verify_step(world_rank, comm.id, VerifyEvent::Exit(label.clone()));
+        let (frame, depth) = {
+            let mut shard = self.shards[world_rank % SHARDS].lock();
+            let rc = shard.entry(world_rank).or_default();
+            let stack = rc.stacks.entry(comm.id).or_default();
+            let frame = stack.pop().unwrap_or_else(|| {
+                panic!(
+                    "mpi-sections: exit of '{label}' on rank {world_rank} with no open section"
+                )
+            });
+            assert_eq!(
+                frame.label, label,
+                "mpi-sections: imperfect nesting on rank {world_rank}: \
+                 exiting '{label}' but innermost open section is '{}'",
+                frame.label
+            );
+            let duration = now - frame.enter;
+            // Credit our inclusive duration to the parent's child time.
+            if let Some(parent) = stack.last_mut() {
+                parent.child_time += duration;
+            }
+            (frame, stack.len())
+        };
+        let duration = now - frame.enter;
+        let exclusive = duration - frame.child_time;
+        let info = LeaveInfo {
+            world_rank,
+            comm: comm.id,
+            comm_size: comm.size,
+            comm_rank: comm.rank,
+            label,
+            enter_time: frame.enter,
+            time: now,
+            duration,
+            exclusive,
+            occurrence: frame.occurrence,
+            depth,
+        };
+        for tool in self.tools.lock().iter() {
+            tool.on_leave(&info, &frame.data);
+        }
+        frame.data
+    }
+
+    fn verify_step(&self, world_rank: usize, comm: CommId, event: VerifyEvent) {
+        if self.verify == VerifyMode::Off {
+            return;
+        }
+        let mut state = self.verify_state.lock();
+        let cv = state.entry(comm).or_default();
+        let pos = cv.position.entry(world_rank).or_insert(0);
+        if *pos == cv.log.len() {
+            cv.log.push(event);
+        } else {
+            assert!(
+                *pos < cv.log.len(),
+                "mpi-sections: verification position overran the log"
+            );
+            assert_eq!(
+                cv.log[*pos], event,
+                "mpi-sections: section order violation on rank {world_rank}: \
+                 expected {:?} at step {pos}, got {event:?}",
+                cv.log[*pos]
+            );
+        }
+        *pos += 1;
+    }
+}
+
+#[derive(Clone, Copy)]
+struct CommInfo {
+    id: CommId,
+    size: usize,
+    rank: usize,
+}
+
+/// `MPI_MAIN` management: as an `mpisim` tool, the runtime opens the
+/// implicit section at `Init` and closes it at `Finalize` (paper §4).
+impl Tool for SectionRuntime {
+    fn on_event(&self, world_rank: usize, event: &MpiEvent) {
+        match event {
+            MpiEvent::Init { size, time } => {
+                self.enter_at(
+                    world_rank,
+                    CommInfo {
+                        id: CommId::WORLD,
+                        size: *size,
+                        rank: world_rank,
+                    },
+                    MPI_MAIN,
+                    *time,
+                );
+            }
+            MpiEvent::Finalize { time } => {
+                // Comm size is not carried by Finalize; MPI_MAIN lives on
+                // the world communicator whose size tools already saw at
+                // Init, so 0 participants here is treated as "unchanged".
+                let _ = self.exit_at(
+                    world_rank,
+                    CommInfo {
+                        id: CommId::WORLD,
+                        size: 0,
+                        rank: world_rank,
+                    },
+                    MPI_MAIN,
+                    *time,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::WorldBuilder;
+
+    #[test]
+    fn enter_exit_roundtrip_and_depth() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let s = sections.clone();
+        WorldBuilder::new(2)
+            .run(move |p| {
+                let world = p.world();
+                s.enter(p, &world, "outer");
+                assert_eq!(s.depth(p.world_rank(), world.id()), 1);
+                s.enter(p, &world, "inner");
+                assert_eq!(s.depth(p.world_rank(), world.id()), 2);
+                s.exit(p, &world, "inner");
+                s.exit(p, &world, "outer");
+                assert_eq!(s.depth(p.world_rank(), world.id()), 0);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn imperfect_nesting_panics() {
+        let sections = SectionRuntime::new(VerifyMode::Off);
+        let s = sections.clone();
+        let result = WorldBuilder::new(1).run(move |p| {
+            let world = p.world();
+            s.enter(p, &world, "a");
+            s.enter(p, &world, "b");
+            s.exit(p, &world, "a"); // wrong: b is innermost
+        });
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("imperfect nesting"), "{err}");
+    }
+
+    #[test]
+    fn exit_without_enter_panics() {
+        let sections = SectionRuntime::new(VerifyMode::Off);
+        let s = sections.clone();
+        let result = WorldBuilder::new(1).run(move |p| {
+            let world = p.world();
+            s.exit(p, &world, "phantom");
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cross_rank_order_violation_detected() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let s = sections.clone();
+        let result = WorldBuilder::new(2).run(move |p| {
+            let world = p.world();
+            // Rank 0 and rank 1 disagree on the first section label.
+            let label = if p.world_rank() == 0 { "compute" } else { "io" };
+            s.enter(p, &world, label);
+            s.exit(p, &world, label);
+        });
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("section order violation"), "{err}");
+    }
+
+    #[test]
+    fn verification_off_tolerates_divergence() {
+        let sections = SectionRuntime::new(VerifyMode::Off);
+        let s = sections.clone();
+        // Divergent labels are (wrongly) accepted when checking is off —
+        // exactly the paper's "selectively enabled" tradeoff.
+        WorldBuilder::new(2)
+            .run(move |p| {
+                let world = p.world();
+                let label = if p.world_rank() == 0 { "compute" } else { "io" };
+                s.enter(p, &world, label);
+                s.exit(p, &world, label);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn scoped_runs_body_and_closes() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let s = sections.clone();
+        let report = WorldBuilder::new(1)
+            .run(move |p| {
+                let world = p.world();
+                let out = s.scoped(p, &world, "phase", |p| {
+                    p.advance_secs(1.0);
+                    42
+                });
+                assert_eq!(s.depth(p.world_rank(), world.id()), 0);
+                out
+            })
+            .unwrap();
+        assert_eq!(report.results[0], 42);
+    }
+
+    #[test]
+    fn sections_per_communicator_are_independent() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let s = sections.clone();
+        WorldBuilder::new(4)
+            .run(move |p| {
+                let world = p.world();
+                let sub = world.split(p, Some((p.world_rank() % 2) as i32), 0).unwrap();
+                s.enter(p, &world, "global");
+                s.enter(p, &sub, "local");
+                // Independent stacks: exit order across comms is free.
+                s.exit(p, &world, "global");
+                s.exit(p, &sub, "local");
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn occurrences_count_up() {
+        struct LastOccurrence(Mutex<u64>);
+        impl SectionTool for LastOccurrence {
+            fn on_enter(&self, info: &EnterInfo, _data: &mut SectionData) {
+                if &*info.label == "step" {
+                    *self.0.lock() = info.occurrence;
+                }
+            }
+            fn on_leave(&self, _info: &LeaveInfo, _data: &SectionData) {}
+        }
+        let tool = Arc::new(LastOccurrence(Mutex::new(0)));
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        sections.attach(tool.clone());
+        let s = sections.clone();
+        WorldBuilder::new(1)
+            .run(move |p| {
+                let world = p.world();
+                for _ in 0..5 {
+                    s.scoped(p, &world, "step", |_| {});
+                }
+            })
+            .unwrap();
+        assert_eq!(*tool.0.lock(), 4);
+    }
+
+    #[test]
+    fn tool_data_preserved_between_enter_and_leave() {
+        // A tool stores its own timestamp in the 32-byte blob at enter and
+        // reads it back at leave — the paper's motivating use of `data`.
+        struct StampTool {
+            observed: Mutex<Vec<(u64, u64)>>,
+        }
+        impl SectionTool for StampTool {
+            fn on_enter(&self, info: &EnterInfo, data: &mut SectionData) {
+                data[..8].copy_from_slice(&info.time.as_nanos().to_le_bytes());
+            }
+            fn on_leave(&self, info: &LeaveInfo, data: &SectionData) {
+                let stamped = u64::from_le_bytes(data[..8].try_into().unwrap());
+                self.observed.lock().push((stamped, info.time.as_nanos()));
+            }
+        }
+        let tool = Arc::new(StampTool {
+            observed: Mutex::new(Vec::new()),
+        });
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        sections.attach(tool.clone());
+        let s = sections.clone();
+        WorldBuilder::new(1)
+            .run(move |p| {
+                let world = p.world();
+                p.advance_secs(1.0);
+                s.enter(p, &world, "phase");
+                p.advance_secs(2.0);
+                s.exit(p, &world, "phase");
+            })
+            .unwrap();
+        let observed = tool.observed.lock();
+        assert_eq!(observed.len(), 1);
+        let (stamped, leave) = observed[0];
+        assert_eq!(stamped, 1_000_000_000);
+        assert_eq!(leave, 3_000_000_000);
+    }
+}

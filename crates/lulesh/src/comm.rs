@@ -1,0 +1,165 @@
+//! Face-ghost exchange over the cubic process grid.
+//!
+//! Each exchange swaps one element-field face (`s²` doubles) with each of
+//! the up-to-six face neighbours, via combined sendrecv (deadlock-free
+//! under the runtime's eager protocol). Timing mode sends virtual payloads
+//! of identical logical size.
+
+use crate::config::Fidelity;
+use crate::mesh::{face_index, Decomposition, FaceGhosts, Field3};
+use mpisim::{Comm, Proc, Src, TagSel};
+
+/// Tag for a face travelling towards the low side of `axis`.
+fn tag_low(axis: usize) -> i32 {
+    300 + 2 * axis as i32
+}
+
+/// Tag for a face travelling towards the high side of `axis`.
+fn tag_high(axis: usize) -> i32 {
+    301 + 2 * axis as i32
+}
+
+/// Exchange the boundary faces of `field` with all face neighbours.
+/// Returns the received ghosts (empty at global boundaries).
+pub fn exchange_faces(
+    p: &mut Proc,
+    comm: &Comm,
+    decomp: &Decomposition,
+    field: &Field3,
+    fidelity: Fidelity,
+) -> FaceGhosts {
+    let mut ghosts = FaceGhosts::default();
+    let s2 = decomp.s * decomp.s;
+    for axis in 0..3 {
+        // Low-side neighbour: my low face travels low; their high face
+        // arrives here.
+        if let Some(nbr) = decomp.neighbor(axis, 0) {
+            match fidelity {
+                Fidelity::Full => {
+                    let mine = field.face(axis, 0);
+                    let got = comm.sendrecv(
+                        p,
+                        nbr,
+                        tag_low(axis),
+                        &mine,
+                        Src::Rank(nbr),
+                        TagSel::Is(tag_high(axis)),
+                    );
+                    ghosts.faces[face_index(axis, 0)] = Some(got.data);
+                }
+                Fidelity::Timing => {
+                    let _ = comm.sendrecv_virtual::<f64>(
+                        p,
+                        nbr,
+                        tag_low(axis),
+                        s2,
+                        Src::Rank(nbr),
+                        TagSel::Is(tag_high(axis)),
+                    );
+                }
+            }
+        }
+        // High-side neighbour: my high face travels high; their low face
+        // arrives here.
+        if let Some(nbr) = decomp.neighbor(axis, 1) {
+            match fidelity {
+                Fidelity::Full => {
+                    let mine = field.face(axis, 1);
+                    let got = comm.sendrecv(
+                        p,
+                        nbr,
+                        tag_high(axis),
+                        &mine,
+                        Src::Rank(nbr),
+                        TagSel::Is(tag_low(axis)),
+                    );
+                    ghosts.faces[face_index(axis, 1)] = Some(got.data);
+                }
+                Fidelity::Timing => {
+                    let _ = comm.sendrecv_virtual::<f64>(
+                        p,
+                        nbr,
+                        tag_high(axis),
+                        s2,
+                        Src::Rank(nbr),
+                        TagSel::Is(tag_low(axis)),
+                    );
+                }
+            }
+        }
+    }
+    ghosts
+}
+
+/// Exchange nodal boundary-face values (size `(s+1)²`) for the
+/// `CommSyncPosVel` section. In full fidelity the received values are
+/// *checked* against the local copies of the shared nodes — duplicated
+/// nodes must agree bit-for-bit if the nodal kernels are truly
+/// decomposition-independent.
+pub fn sync_shared_nodes(
+    p: &mut Proc,
+    comm: &Comm,
+    decomp: &Decomposition,
+    nodal: &[f64],
+    fidelity: Fidelity,
+) {
+    let sn = decomp.s + 1;
+    let idx = |i: usize, j: usize, k: usize| (k * sn + j) * sn + i;
+    let extract = |axis: usize, side: usize| -> Vec<f64> {
+        let fixed = if side == 0 { 0 } else { sn - 1 };
+        let mut out = Vec::with_capacity(sn * sn);
+        for b in 0..sn {
+            for a in 0..sn {
+                let (i, j, k) = match axis {
+                    0 => (fixed, a, b),
+                    1 => (a, fixed, b),
+                    _ => (a, b, fixed),
+                };
+                out.push(nodal[idx(i, j, k)]);
+            }
+        }
+        out
+    };
+    for axis in 0..3 {
+        for side in 0..2 {
+            if let Some(nbr) = decomp.neighbor(axis, side) {
+                let (my_tag, their_tag) = if side == 0 {
+                    (tag_low(axis), tag_high(axis))
+                } else {
+                    (tag_high(axis), tag_low(axis))
+                };
+                match fidelity {
+                    Fidelity::Full => {
+                        let mine = extract(axis, side);
+                        let got = comm.sendrecv(
+                            p,
+                            nbr,
+                            my_tag,
+                            &mine,
+                            Src::Rank(nbr),
+                            TagSel::Is(their_tag),
+                        );
+                        // The neighbour's copy of our shared face must be
+                        // identical: both ranks integrate the same nodal
+                        // formula over the same global coordinates.
+                        assert_eq!(
+                            got.data, mine,
+                            "shared nodal face disagrees with neighbour {nbr} \
+                             (axis {axis}, side {side})"
+                        );
+                    }
+                    Fidelity::Timing => {
+                        let _ = comm.sendrecv_virtual::<f64>(
+                            p,
+                            nbr,
+                            my_tag,
+                            sn * sn,
+                            Src::Rank(nbr),
+                            TagSel::Is(their_tag),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

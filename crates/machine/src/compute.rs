@@ -1,0 +1,176 @@
+//! Core and memory models: converting [`Work`] into virtual seconds.
+
+use crate::time::VTime;
+use crate::work::Work;
+
+/// Model of a single core's execution rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreModel {
+    /// Sustained floating-point rate of one core in flops/s.
+    pub flops_per_sec: f64,
+    /// Relative rate of a hyper-thread when more than one hardware thread
+    /// shares a core (1.0 = full core each; 0.5 = a shared core's throughput
+    /// splits evenly). Applied per extra thread on the same core.
+    pub smt_efficiency: f64,
+}
+
+impl CoreModel {
+    /// A convenient "1 Gflop/s, no SMT penalty" core for unit tests.
+    pub const UNIT: CoreModel = CoreModel {
+        flops_per_sec: 1e9,
+        smt_efficiency: 1.0,
+    };
+
+    /// Effective per-thread flop rate when `threads_on_core` hardware
+    /// threads share this core.
+    pub fn rate_with_smt(&self, threads_on_core: usize) -> f64 {
+        if threads_on_core <= 1 {
+            return self.flops_per_sec;
+        }
+        // A shared core delivers slightly more aggregate throughput than one
+        // thread alone (latency hiding), but each thread individually slows
+        // down. Aggregate = rate * (1 + eff*(t-1)) split across t threads.
+        let t = threads_on_core as f64;
+        self.flops_per_sec * (1.0 + self.smt_efficiency * (t - 1.0)) / t
+    }
+}
+
+/// Model of a node's memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Peak node-level memory bandwidth in bytes/s.
+    pub node_bandwidth: f64,
+    /// Bandwidth one thread can extract alone, in bytes/s. Additional
+    /// threads add bandwidth until `node_bandwidth` saturates.
+    pub per_thread_bandwidth: f64,
+}
+
+impl MemoryModel {
+    /// A memory system that never limits anything (for pure-compute tests).
+    pub const INFINITE: MemoryModel = MemoryModel {
+        node_bandwidth: f64::INFINITY,
+        per_thread_bandwidth: f64::INFINITY,
+    };
+
+    /// Bandwidth available to *each* of `threads` concurrently streaming
+    /// threads: linear ramp capped by node saturation.
+    pub fn bandwidth_per_thread(&self, threads: usize) -> f64 {
+        let t = threads.max(1) as f64;
+        let aggregate = (self.per_thread_bandwidth * t).min(self.node_bandwidth);
+        aggregate / t
+    }
+}
+
+/// Combined node compute model.
+///
+/// The duration of a [`Work`] record on one thread follows a roofline rule:
+/// `time = max(flops / flop_rate, bytes / bandwidth)` — a kernel is limited
+/// by whichever resource it exhausts first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeModel {
+    pub core: CoreModel,
+    pub memory: MemoryModel,
+}
+
+impl ComputeModel {
+    /// Time for `work` on a single thread, with `concurrent_threads` threads
+    /// active on the node (memory contention) of which `threads_on_core`
+    /// share this thread's core (SMT contention).
+    pub fn seconds_for(
+        &self,
+        work: Work,
+        concurrent_threads: usize,
+        threads_on_core: usize,
+    ) -> f64 {
+        if work.is_zero() {
+            return 0.0;
+        }
+        let flop_rate = self.core.rate_with_smt(threads_on_core);
+        let bw = self.memory.bandwidth_per_thread(concurrent_threads);
+        let t_flops = if work.flops > 0.0 {
+            work.flops / flop_rate
+        } else {
+            0.0
+        };
+        let t_bytes = if work.bytes > 0.0 { work.bytes / bw } else { 0.0 };
+        t_flops.max(t_bytes)
+    }
+
+    /// Single-thread, uncontended convenience wrapper.
+    pub fn time_for(&self, work: Work) -> VTime {
+        VTime::from_secs_f64(self.seconds_for(work, 1, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> ComputeModel {
+        ComputeModel {
+            core: CoreModel::UNIT,
+            memory: MemoryModel {
+                node_bandwidth: 8e9,
+                per_thread_bandwidth: 2e9,
+            },
+        }
+    }
+
+    #[test]
+    fn pure_flops_time() {
+        let m = unit();
+        assert!((m.seconds_for(Work::flops(2e9), 1, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_bytes_time() {
+        let m = unit();
+        // 2 GB at 2 GB/s per thread.
+        assert!((m.seconds_for(Work::bytes(2e9), 1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_takes_max() {
+        let m = unit();
+        let w = Work::new(1e9, 4e9); // 1s of flops, 2s of bytes
+        assert!((m.seconds_for(w, 1, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_saturation() {
+        let m = unit();
+        // 4 threads saturate the 8 GB/s node exactly: each still gets 2 GB/s.
+        assert!((m.memory.bandwidth_per_thread(4) - 2e9).abs() < 1.0);
+        // 8 threads share 8 GB/s: 1 GB/s each, so byte-bound work doubles.
+        let alone = m.seconds_for(Work::bytes(1e9), 1, 1);
+        let crowded = m.seconds_for(Work::bytes(1e9), 8, 1);
+        assert!((crowded / alone - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smt_slows_individual_threads() {
+        let core = CoreModel {
+            flops_per_sec: 1e9,
+            smt_efficiency: 0.3,
+        };
+        let alone = core.rate_with_smt(1);
+        let shared = core.rate_with_smt(2);
+        // Two threads: aggregate 1.3x split over 2 = 0.65x each.
+        assert!((shared / alone - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        assert_eq!(unit().seconds_for(Work::ZERO, 1, 1), 0.0);
+        assert_eq!(unit().time_for(Work::ZERO), VTime::ZERO);
+    }
+
+    #[test]
+    fn infinite_memory_never_limits() {
+        let m = ComputeModel {
+            core: CoreModel::UNIT,
+            memory: MemoryModel::INFINITE,
+        };
+        assert!((m.seconds_for(Work::new(1e9, 1e18), 64, 1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Plain-text machine definitions.
+//!
+//! Downstream users should not need to recompile to model their cluster: a
+//! machine is described by a small `key = value` file (comments with `#`),
+//! loaded with [`MachineModel::from_config_str`] and written back with
+//! [`MachineModel::to_config_str`] (a lossless round trip, used for
+//! experiment provenance).
+//!
+//! ```text
+//! name = my-cluster
+//! cores_per_node = 8
+//! ranks_per_node = 8          # or "single" for one big node
+//! flops_per_sec = 2.05e8
+//! inter.latency = 2.2e-6
+//! noise.compute_sigma = 0.28
+//! ```
+//!
+//! Unspecified keys keep the `ideal()` machine's values; unknown keys are
+//! an error (typos must not silently produce a different machine).
+//! `#` always starts a comment, so values (including machine names)
+//! cannot contain it.
+
+use crate::topology::Topology;
+use crate::{presets, MachineModel};
+
+/// A configuration parsing error: line number plus description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending entry (0 for whole-file problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "machine config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl MachineModel {
+    /// Parse a machine definition, starting from the `ideal()` defaults.
+    pub fn from_config_str(text: &str) -> Result<MachineModel, ConfigError> {
+        let mut m = presets::ideal();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: line_no,
+                message: format!("expected 'key = value', got '{line}'"),
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            let err = |message: String| ConfigError {
+                line: line_no,
+                message,
+            };
+            let parse_f64 = |v: &str| -> Result<f64, ConfigError> {
+                v.parse()
+                    .map_err(|_| err(format!("'{v}' is not a number")))
+            };
+            let parse_usize = |v: &str| -> Result<usize, ConfigError> {
+                v.parse()
+                    .map_err(|_| err(format!("'{v}' is not a positive integer")))
+            };
+            match key {
+                "name" => m.name = value.to_string(),
+                "cores_per_node" => m.cores_per_node = parse_usize(value)?,
+                "hw_threads_per_core" => m.hw_threads_per_core = parse_usize(value)?,
+                "ranks_per_node" => {
+                    m.topology = if value == "single" {
+                        Topology::SINGLE_NODE
+                    } else {
+                        Topology::block(parse_usize(value)?)
+                    }
+                }
+                "flops_per_sec" => m.compute.core.flops_per_sec = parse_f64(value)?,
+                "smt_efficiency" => m.compute.core.smt_efficiency = parse_f64(value)?,
+                "node_bandwidth" => m.compute.memory.node_bandwidth = parse_f64(value)?,
+                "per_thread_bandwidth" => {
+                    m.compute.memory.per_thread_bandwidth = parse_f64(value)?
+                }
+                "intra.latency" => m.network.intra_node.latency = parse_f64(value)?,
+                "intra.bandwidth" => m.network.intra_node.bandwidth = parse_f64(value)?,
+                "intra.overhead" => m.network.intra_node.overhead = parse_f64(value)?,
+                "inter.latency" => m.network.inter_node.latency = parse_f64(value)?,
+                "inter.bandwidth" => m.network.inter_node.bandwidth = parse_f64(value)?,
+                "inter.overhead" => m.network.inter_node.overhead = parse_f64(value)?,
+                "omp.fork_base" => m.omp.fork_base = parse_f64(value)?,
+                "omp.fork_per_thread" => m.omp.fork_per_thread = parse_f64(value)?,
+                "omp.barrier_base" => m.omp.barrier_base = parse_f64(value)?,
+                "omp.barrier_per_round" => m.omp.barrier_per_round = parse_f64(value)?,
+                "omp.dynamic_per_chunk" => m.omp.dynamic_per_chunk = parse_f64(value)?,
+                "noise.compute_sigma" => m.noise.compute_sigma = parse_f64(value)?,
+                "noise.net_latency_jitter_mean" => {
+                    m.noise.net_latency_jitter_mean = parse_f64(value)?
+                }
+                other => {
+                    return Err(err(format!("unknown key '{other}'")));
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Load a machine definition from a file.
+    pub fn from_config_file(path: &std::path::Path) -> Result<MachineModel, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        MachineModel::from_config_str(&text)
+    }
+
+    /// Serialize to the config format (parses back to an identical model).
+    /// `#` starts a comment in the format, so a name containing it (only
+    /// constructible in code, never by the parser) is sanitized.
+    pub fn to_config_str(&self) -> String {
+        let name = self.name.replace('#', "-");
+        let ranks_per_node = if self.topology == Topology::SINGLE_NODE {
+            "single".to_string()
+        } else {
+            self.topology.ranks_per_node.to_string()
+        };
+        format!(
+            "name = {}\n\
+             cores_per_node = {}\n\
+             hw_threads_per_core = {}\n\
+             ranks_per_node = {}\n\
+             flops_per_sec = {:e}\n\
+             smt_efficiency = {}\n\
+             node_bandwidth = {:e}\n\
+             per_thread_bandwidth = {:e}\n\
+             intra.latency = {:e}\n\
+             intra.bandwidth = {:e}\n\
+             intra.overhead = {:e}\n\
+             inter.latency = {:e}\n\
+             inter.bandwidth = {:e}\n\
+             inter.overhead = {:e}\n\
+             omp.fork_base = {:e}\n\
+             omp.fork_per_thread = {:e}\n\
+             omp.barrier_base = {:e}\n\
+             omp.barrier_per_round = {:e}\n\
+             omp.dynamic_per_chunk = {:e}\n\
+             noise.compute_sigma = {}\n\
+             noise.net_latency_jitter_mean = {:e}\n",
+            name,
+            self.cores_per_node,
+            self.hw_threads_per_core,
+            ranks_per_node,
+            self.compute.core.flops_per_sec,
+            self.compute.core.smt_efficiency,
+            self.compute.memory.node_bandwidth,
+            self.compute.memory.per_thread_bandwidth,
+            self.network.intra_node.latency,
+            self.network.intra_node.bandwidth,
+            self.network.intra_node.overhead,
+            self.network.inter_node.latency,
+            self.network.inter_node.bandwidth,
+            self.network.inter_node.overhead,
+            self.omp.fork_base,
+            self.omp.fork_per_thread,
+            self.omp.barrier_base,
+            self.omp.barrier_per_round,
+            self.omp.dynamic_per_chunk,
+            self.noise.compute_sigma,
+            self.noise.net_latency_jitter_mean,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_config() {
+        let m = MachineModel::from_config_str(
+            "name = tiny\ncores_per_node = 4\nflops_per_sec = 1e9\n",
+        )
+        .unwrap();
+        assert_eq!(m.name, "tiny");
+        assert_eq!(m.cores_per_node, 4);
+        assert_eq!(m.compute.core.flops_per_sec, 1e9);
+        // Unspecified keys keep ideal defaults.
+        assert!(m.noise.is_none());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let m = MachineModel::from_config_str(
+            "# a cluster\n\nname = c1  # trailing comment\n\n  \n",
+        )
+        .unwrap();
+        assert_eq!(m.name, "c1");
+    }
+
+    #[test]
+    fn presets_roundtrip_through_config() {
+        for preset in [
+            presets::nehalem_cluster(),
+            presets::knl(),
+            presets::dual_broadwell(),
+            presets::ideal(),
+        ] {
+            let text = preset.to_config_str();
+            let back = MachineModel::from_config_str(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+            assert_eq!(back.name, preset.name);
+            assert_eq!(back.cores_per_node, preset.cores_per_node);
+            assert_eq!(back.topology, preset.topology);
+            assert_eq!(back.compute, preset.compute);
+            assert_eq!(back.network, preset.network);
+            assert_eq!(back.omp, preset.omp);
+            assert_eq!(back.noise, preset.noise);
+        }
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_line_number() {
+        let err = MachineModel::from_config_str("name = x\nfloops = 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown key 'floops'"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(MachineModel::from_config_str("just words\n").is_err());
+        let err = MachineModel::from_config_str("cores_per_node = many\n").unwrap_err();
+        assert!(err.message.contains("not a positive integer"));
+        let err = MachineModel::from_config_str("flops_per_sec = fast\n").unwrap_err();
+        assert!(err.message.contains("not a number"));
+    }
+
+    #[test]
+    fn single_node_topology_spelling() {
+        let m = MachineModel::from_config_str("ranks_per_node = single\n").unwrap();
+        assert_eq!(m.topology, Topology::SINGLE_NODE);
+        let m = MachineModel::from_config_str("ranks_per_node = 16\n").unwrap();
+        assert_eq!(m.topology, Topology::block(16));
+    }
+
+    #[test]
+    fn file_loading_errors_are_reported() {
+        let err =
+            MachineModel::from_config_file(std::path::Path::new("/no/such/file.mach"))
+                .unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("cannot read"));
+    }
+}

@@ -1,0 +1,135 @@
+//! OpenMP-style runtime overhead model.
+//!
+//! This is design decision D4 from DESIGN.md: a parallel region's runtime
+//! cost (fork, join, barrier, dynamic-scheduling bookkeeping) grows with the
+//! number of threads, while the per-thread share of the work shrinks. The
+//! sum of the two produces the inflexion point the paper observes in LULESH
+//! on KNL (Fig. 10): region time decreases up to ~24 threads and increases
+//! beyond.
+
+/// Overheads of the shared-memory (OpenMP-like) runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpModel {
+    /// Fixed cost of opening a parallel region, in seconds.
+    pub fork_base: f64,
+    /// Additional fork cost per participating thread, in seconds
+    /// (thread wake-up, argument broadcast, first-touch effects).
+    pub fork_per_thread: f64,
+    /// Fixed cost of the implicit end-of-region barrier, in seconds.
+    pub barrier_base: f64,
+    /// Barrier cost per log2(threads) round, in seconds.
+    pub barrier_per_round: f64,
+    /// Extra cost per chunk handed out by the dynamic scheduler, in seconds.
+    pub dynamic_per_chunk: f64,
+}
+
+impl OmpModel {
+    /// A runtime with zero overhead — parallel regions scale perfectly
+    /// (useful for tests and the D4 ablation).
+    pub const FREE: OmpModel = OmpModel {
+        fork_base: 0.0,
+        fork_per_thread: 0.0,
+        barrier_base: 0.0,
+        barrier_per_round: 0.0,
+        dynamic_per_chunk: 0.0,
+    };
+
+    /// Cost of forking a region onto `threads` threads, in seconds.
+    /// A single-thread "region" costs nothing: it is just a function call.
+    pub fn fork_secs(&self, threads: usize) -> f64 {
+        if threads <= 1 {
+            return 0.0;
+        }
+        self.fork_base + self.fork_per_thread * threads as f64
+    }
+
+    /// Cost of the closing barrier for `threads` threads, in seconds.
+    pub fn barrier_secs(&self, threads: usize) -> f64 {
+        if threads <= 1 {
+            return 0.0;
+        }
+        let rounds = (usize::BITS - (threads - 1).leading_zeros()) as f64;
+        self.barrier_base + self.barrier_per_round * rounds
+    }
+
+    /// Scheduler bookkeeping for handing out `chunks` chunks dynamically.
+    pub fn dynamic_secs(&self, chunks: usize) -> f64 {
+        self.dynamic_per_chunk * chunks as f64
+    }
+
+    /// Total region overhead (fork + barrier) for `threads`, in seconds.
+    pub fn region_secs(&self, threads: usize) -> f64 {
+        self.fork_secs(threads) + self.barrier_secs(threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OmpModel {
+        OmpModel {
+            fork_base: 1e-6,
+            fork_per_thread: 2e-7,
+            barrier_base: 5e-7,
+            barrier_per_round: 3e-7,
+            dynamic_per_chunk: 1e-8,
+        }
+    }
+
+    #[test]
+    fn single_thread_free() {
+        let m = model();
+        assert_eq!(m.fork_secs(1), 0.0);
+        assert_eq!(m.barrier_secs(1), 0.0);
+        assert_eq!(m.region_secs(1), 0.0);
+    }
+
+    #[test]
+    fn fork_grows_linearly() {
+        let m = model();
+        let f2 = m.fork_secs(2);
+        let f4 = m.fork_secs(4);
+        assert!((f4 - f2 - 2.0 * m.fork_per_thread).abs() < 1e-15);
+    }
+
+    #[test]
+    fn barrier_grows_with_log() {
+        let m = model();
+        let b2 = m.barrier_secs(2); // 1 round
+        let b16 = m.barrier_secs(16); // 4 rounds
+        assert!((b2 - (5e-7 + 3e-7)).abs() < 1e-15);
+        assert!((b16 - (5e-7 + 4.0 * 3e-7)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn region_inflexion_exists() {
+        // With work W split across t threads plus region overhead, the total
+        // W/t + region(t) must have an interior minimum: that minimum is the
+        // "inflexion point" of the paper.
+        let m = OmpModel {
+            fork_base: 0.0,
+            fork_per_thread: 1e-3,
+            barrier_base: 0.0,
+            barrier_per_round: 0.0,
+            dynamic_per_chunk: 0.0,
+        };
+        let w = 0.576; // seconds of work -> t* = sqrt(W/a) = 24
+        let time = |t: usize| w / t as f64 + m.region_secs(t);
+        let best = (1..=256).min_by(|&a, &b| time(a).partial_cmp(&time(b)).unwrap());
+        assert_eq!(best, Some(24));
+        assert!(time(48) > time(24));
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        assert_eq!(OmpModel::FREE.region_secs(256), 0.0);
+        assert_eq!(OmpModel::FREE.dynamic_secs(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn dynamic_scheduling_cost() {
+        let m = model();
+        assert!((m.dynamic_secs(100) - 1e-6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,142 @@
+//! Abstract computational work.
+//!
+//! Application kernels describe what they do as a [`Work`] record (floating
+//! point operations and bytes of memory traffic); the machine model converts
+//! that into virtual seconds with a roofline-style rule. This keeps workload
+//! definitions machine-independent, which is what lets one benchmark run on
+//! the Nehalem-cluster, KNL and Broadwell presets unchanged.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A machine-independent description of a chunk of computation.
+///
+/// ```
+/// use machine::Work;
+/// // A 9-tap stencil over one RGB pixel: 54 flops, two double streams.
+/// let per_pixel = Work::new(54.0, 48.0);
+/// let per_row = per_pixel * 5616.0;
+/// assert_eq!(per_row.flops, 54.0 * 5616.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Work {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes moved to/from memory (sum of reads and writes).
+    pub bytes: f64,
+}
+
+impl Work {
+    /// No work at all.
+    pub const ZERO: Work = Work {
+        flops: 0.0,
+        bytes: 0.0,
+    };
+
+    /// Work consisting only of floating-point operations.
+    #[inline]
+    pub const fn flops(flops: f64) -> Work {
+        Work { flops, bytes: 0.0 }
+    }
+
+    /// Work consisting only of memory traffic.
+    #[inline]
+    pub const fn bytes(bytes: f64) -> Work {
+        Work { flops: 0.0, bytes }
+    }
+
+    /// Work with both components.
+    #[inline]
+    pub const fn new(flops: f64, bytes: f64) -> Work {
+        Work { flops, bytes }
+    }
+
+    /// Arithmetic intensity in flops/byte (infinite for pure-compute work).
+    #[inline]
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// True when the record describes no work.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.flops == 0.0 && self.bytes == 0.0
+    }
+}
+
+impl Add for Work {
+    type Output = Work;
+    #[inline]
+    fn add(self, rhs: Work) -> Work {
+        Work {
+            flops: self.flops + rhs.flops,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+impl AddAssign for Work {
+    #[inline]
+    fn add_assign(&mut self, rhs: Work) {
+        self.flops += rhs.flops;
+        self.bytes += rhs.bytes;
+    }
+}
+
+impl Mul<f64> for Work {
+    type Output = Work;
+    #[inline]
+    fn mul(self, rhs: f64) -> Work {
+        Work {
+            flops: self.flops * rhs,
+            bytes: self.bytes * rhs,
+        }
+    }
+}
+
+impl Sum for Work {
+    fn sum<I: Iterator<Item = Work>>(iter: I) -> Work {
+        iter.fold(Work::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let w = Work::new(100.0, 50.0);
+        assert_eq!(w.flops, 100.0);
+        assert_eq!(w.bytes, 50.0);
+        assert_eq!(Work::flops(3.0).bytes, 0.0);
+        assert_eq!(Work::bytes(3.0).flops, 0.0);
+    }
+
+    #[test]
+    fn intensity() {
+        assert_eq!(Work::new(8.0, 4.0).intensity(), 2.0);
+        assert!(Work::flops(8.0).intensity().is_infinite());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut w = Work::new(1.0, 2.0) + Work::new(3.0, 4.0);
+        assert_eq!(w, Work::new(4.0, 6.0));
+        w += Work::new(1.0, 1.0);
+        assert_eq!(w, Work::new(5.0, 7.0));
+        assert_eq!(w * 2.0, Work::new(10.0, 14.0));
+        let s: Work = [Work::flops(1.0), Work::flops(2.0)].into_iter().sum();
+        assert_eq!(s, Work::flops(3.0));
+    }
+
+    #[test]
+    fn zero() {
+        assert!(Work::ZERO.is_zero());
+        assert!(!Work::flops(1.0).is_zero());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the machine-model layer: virtual-time arithmetic,
+//! cost-model monotonicity, and noise-stream determinism.
+
+use machine::{
+    presets, CollectiveCost, DetRng, LinkModel, NoiseModel, Topology, VTime, Work,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vtime_roundtrip_is_lossless_for_sane_ranges(ns in 0u64..u64::MAX / 4) {
+        let t = VTime::from_nanos(ns);
+        // Through seconds and back: within 1 ns per ~2^52 ns of magnitude
+        // (f64 mantissa), and always non-negative.
+        let back = VTime::from_secs_f64(t.as_secs_f64());
+        let err = back.as_nanos().abs_diff(ns);
+        let tolerance = (ns >> 50).max(1);
+        prop_assert!(err <= tolerance, "ns={ns} err={err}");
+    }
+
+    #[test]
+    fn vtime_add_is_commutative_and_monotone(a in 0u64..1 << 62, b in 0u64..1 << 62) {
+        let (ta, tb) = (VTime::from_nanos(a), VTime::from_nanos(b));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert!(ta + tb >= ta.max(tb));
+        prop_assert_eq!((ta + tb) - tb, ta);
+    }
+
+    #[test]
+    fn vtime_sub_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let diff = VTime::from_nanos(a) - VTime::from_nanos(b);
+        prop_assert_eq!(diff.as_nanos(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn compute_time_is_monotone_in_work(
+        flops in 0.0f64..1e15,
+        bytes in 0.0f64..1e15,
+        extra in 1.0f64..1e6,
+    ) {
+        let m = presets::knl();
+        let base = m.thread_seconds_for(Work::new(flops, bytes), 1);
+        let more = m.thread_seconds_for(Work::new(flops + extra, bytes + extra), 1);
+        prop_assert!(more >= base);
+        prop_assert!(base >= 0.0);
+    }
+
+    #[test]
+    fn contention_never_speeds_up(
+        flops in 1.0f64..1e12,
+        threads_a in 1usize..512,
+        threads_b in 1usize..512,
+    ) {
+        let m = presets::dual_broadwell();
+        let (lo, hi) = if threads_a <= threads_b {
+            (threads_a, threads_b)
+        } else {
+            (threads_b, threads_a)
+        };
+        let w = Work::new(flops, flops);
+        prop_assert!(m.thread_seconds_for(w, hi) >= m.thread_seconds_for(w, lo) - 1e-15);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_size(bytes in 0usize..1 << 40, extra in 1usize..1 << 20) {
+        let link = LinkModel { latency: 1e-6, bandwidth: 3e9, overhead: 5e-7 };
+        prop_assert!(link.transfer_secs(bytes + extra) > link.transfer_secs(bytes));
+    }
+
+    #[test]
+    fn collective_costs_nonnegative_and_monotone_in_p(
+        p in 1usize..2048,
+        bytes in 0usize..1 << 30,
+    ) {
+        let link = LinkModel { latency: 2e-6, bandwidth: 3e9, overhead: 9e-7 };
+        let small = CollectiveCost { link: &link, p };
+        let large = CollectiveCost { link: &link, p: p * 2 };
+        for f in [
+            |c: &CollectiveCost, b: usize| c.bcast(b),
+            |c: &CollectiveCost, b: usize| c.allreduce(b),
+            |c: &CollectiveCost, b: usize| c.allgather(b),
+            |c: &CollectiveCost, _| c.barrier(),
+        ] {
+            let s = f(&small, bytes);
+            let l = f(&large, bytes);
+            prop_assert!(s >= 0.0);
+            prop_assert!(l >= s, "cost must not shrink with p: {s} vs {l}");
+        }
+    }
+
+    #[test]
+    fn noise_streams_deterministic_and_positive(
+        seed in any::<u64>(),
+        rank in 0u64..4096,
+        sigma in 0.0f64..1.0,
+    ) {
+        let noise = NoiseModel { compute_sigma: sigma, net_latency_jitter_mean: 1e-6 };
+        let mut a = DetRng::for_stream(seed, rank, 0);
+        let mut b = DetRng::for_stream(seed, rank, 0);
+        for _ in 0..16 {
+            let fa = noise.compute_factor(&mut a);
+            let fb = noise.compute_factor(&mut b);
+            prop_assert_eq!(fa, fb);
+            prop_assert!(fa > 0.0);
+            prop_assert!(noise.latency_jitter(&mut a) >= 0.0);
+            let _ = noise.latency_jitter(&mut b);
+        }
+    }
+
+    #[test]
+    fn topology_block_partition(ranks_per_node in 1usize..64, rank in 0usize..10_000) {
+        let t = Topology::block(ranks_per_node);
+        let node = t.node_of(rank);
+        // Every rank on the node agrees about the node id.
+        let first = node * ranks_per_node;
+        prop_assert!(t.same_node(rank, first));
+        prop_assert!(!t.same_node(first, first + ranks_per_node));
+        prop_assert_eq!(t.nodes_for(rank + 1), rank / ranks_per_node + 1);
+    }
+}

@@ -1,0 +1,1090 @@
+//! Communicators and communication operations.
+//!
+//! [`Comm`] is a per-rank handle onto a shared communicator object. The
+//! world communicator exists from launch; applications derive others with
+//! [`Comm::dup`] and [`Comm::split`], exactly as in MPI.
+//!
+//! Timing semantics:
+//!
+//! * **Point-to-point** is eager/buffered: a send deposits the message with
+//!   the sender's departure timestamp and returns after charging the CPU
+//!   overhead `o`. The receiver's completion time is
+//!   `max(now, send_end + latency + bytes/bandwidth + jitter) + o` — the
+//!   timestamp piggyback scheme of DESIGN.md (D1). Waiting, imbalance and
+//!   jitter therefore propagate causally from rank to rank.
+//! * **Collectives** synchronize: every participant leaves at
+//!   `max(entry times) + model cost (+ jitter)`, computed once per
+//!   operation by the rendezvous machinery.
+
+use crate::collective::{Done, Rendezvous, Slot};
+use crate::event::{CommId, MpiCall};
+use crate::message::{Envelope, Payload, Src, TagSel};
+use crate::proc::Proc;
+use machine::{DetRng, Topology, VTime};
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared (cross-rank) state of one communicator.
+pub struct CommShared {
+    pub(crate) id: CommId,
+    /// Mapping local rank -> world rank.
+    pub(crate) world_ranks: Arc<Vec<usize>>,
+    pub(crate) rendezvous: Rendezvous,
+    pub(crate) spans_nodes: bool,
+}
+
+/// Allocates communicator ids and tracks all live communicators (so world
+/// poisoning can wake rendezvous waiters).
+pub(crate) struct Registry {
+    next_id: AtomicU64,
+    all: Mutex<Vec<Arc<CommShared>>>,
+    topology: Topology,
+}
+
+impl Registry {
+    pub(crate) fn new(topology: Topology) -> Self {
+        Registry {
+            next_id: AtomicU64::new(0),
+            all: Mutex::new(Vec::new()),
+            topology,
+        }
+    }
+
+    /// Create a communicator over the given world ranks (local rank i maps
+    /// to `world_ranks[i]`). The first registration gets [`CommId::WORLD`].
+    ///
+    /// Only used for the world communicator today; derived communicators
+    /// get deterministic ids through [`Registry::register_with_id`] —
+    /// a global counter would make ids depend on the real-time order in
+    /// which *disjoint* communicators happen to split, breaking
+    /// run-to-run determinism of id-keyed noise streams.
+    pub(crate) fn register(&self, world_ranks: Vec<usize>) -> Arc<CommShared> {
+        let id = CommId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        self.register_with_id(id, world_ranks)
+    }
+
+    /// Create a communicator with a caller-derived (deterministic) id.
+    pub(crate) fn register_with_id(
+        &self,
+        id: CommId,
+        world_ranks: Vec<usize>,
+    ) -> Arc<CommShared> {
+        let spans_nodes = self.topology.spans_nodes(&world_ranks);
+        let shared = Arc::new(CommShared {
+            id,
+            rendezvous: Rendezvous::new(world_ranks.len()),
+            world_ranks: Arc::new(world_ranks),
+            spans_nodes,
+        });
+        self.all.lock().push(shared.clone());
+        shared
+    }
+
+    /// Wake every rendezvous (poisoning path).
+    pub(crate) fn wake_all(&self) {
+        for comm in self.all.lock().iter() {
+            comm.rendezvous.wake_all();
+        }
+    }
+}
+
+/// A received message.
+#[derive(Debug)]
+pub struct Recvd<T> {
+    /// The data (empty when the message was virtual — timing mode).
+    pub data: Vec<T>,
+    /// Logical element count, valid in both fidelity modes.
+    pub elems: usize,
+    /// Logical byte size.
+    pub logical_bytes: u64,
+    /// Sender's local rank in the communicator.
+    pub src: usize,
+    /// Message tag.
+    pub tag: i32,
+}
+
+/// Handle for a posted non-blocking send.
+#[derive(Debug)]
+#[must_use = "a request must be waited on"]
+pub struct SendReq {
+    bytes: u64,
+    comm: CommId,
+}
+
+impl SendReq {
+    /// Complete the send. Buffered sends complete immediately; this only
+    /// raises the `MPI_Wait` tool events.
+    pub fn wait(self, p: &mut Proc) {
+        p.tool_call_enter(MpiCall::Wait, self.comm);
+        p.tool_call_exit(MpiCall::Wait, self.comm, self.bytes);
+    }
+}
+
+/// Handle for a posted non-blocking receive.
+///
+/// Matching and timing happen at [`RecvReq::wait`]; posting early costs
+/// nothing and gains nothing (the eager model delivers the message at the
+/// same virtual time either way). This mirrors an eager-protocol MPI where
+/// the payload lands in a bounce buffer regardless of the posted receive.
+#[derive(Debug)]
+#[must_use = "a request must be waited on"]
+pub struct RecvReq<T> {
+    comm: Comm,
+    src: Src,
+    tag: TagSel,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: 'static> RecvReq<T> {
+    /// Block until the matching message is consumed; returns it.
+    pub fn wait(self, p: &mut Proc) -> Recvd<T> {
+        p.tool_call_enter(MpiCall::Wait, self.comm.id());
+        let out = self.comm.recv_raw::<T>(p, self.src, self.tag);
+        p.tool_call_exit(MpiCall::Wait, self.comm.id(), out.logical_bytes);
+        out
+    }
+
+    /// `MPI_Test`: complete the receive if the message already arrived,
+    /// else hand the request back untouched. Costs no virtual time when
+    /// nothing matched.
+    pub fn test(self, p: &mut Proc) -> Result<Recvd<T>, RecvReq<T>> {
+        if self.comm.probe(p, self.src, self.tag) {
+            Ok(self.wait(p))
+        } else {
+            Err(self)
+        }
+    }
+}
+
+/// Complete a batch of receive requests (`MPI_Waitall`), returning the
+/// messages in request order. The rank's clock ends at the completion of
+/// the last-arriving message, as with a real waitall.
+pub fn waitall<T: 'static>(p: &mut Proc, reqs: Vec<RecvReq<T>>) -> Vec<Recvd<T>> {
+    reqs.into_iter().map(|r| r.wait(p)).collect()
+}
+
+/// Per-rank communicator handle.
+#[derive(Clone)]
+pub struct Comm {
+    shared: Arc<CommShared>,
+    local_rank: usize,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("id", &self.shared.id)
+            .field("size", &self.size())
+            .field("local_rank", &self.local_rank)
+            .finish()
+    }
+}
+
+impl Comm {
+    pub(crate) fn from_shared(shared: Arc<CommShared>, world_rank: usize) -> Comm {
+        let local_rank = shared
+            .world_ranks
+            .iter()
+            .position(|&w| w == world_rank)
+            .expect("mpisim: rank is not a member of this communicator");
+        Comm { shared, local_rank }
+    }
+
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.local_rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.world_ranks.len()
+    }
+
+    /// The communicator's id (stable for the lifetime of the world).
+    #[inline]
+    pub fn id(&self) -> CommId {
+        self.shared.id
+    }
+
+    /// World rank of a local rank.
+    #[inline]
+    pub fn world_rank_of(&self, local: usize) -> usize {
+        self.shared.world_ranks[local]
+    }
+
+    /// Whether this communicator's ranks span more than one node.
+    #[inline]
+    pub fn spans_nodes(&self) -> bool {
+        self.shared.spans_nodes
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    fn send_raw(&self, p: &mut Proc, dest: usize, tag: i32, payload: Payload) -> u64 {
+        assert!(
+            dest < self.size(),
+            "mpisim: send to invalid rank {dest} (comm size {})",
+            self.size()
+        );
+        let dest_world = self.world_rank_of(dest);
+        let topo = p.machine.topology;
+        let link = *p
+            .machine
+            .network
+            .link(topo.node_of(p.world_rank), topo.node_of(dest_world));
+        p.now += VTime::from_secs_f64(link.overhead);
+        let bytes = payload.logical_bytes();
+        let envelope = Envelope {
+            comm: self.id(),
+            src_local: self.local_rank,
+            src_world: p.world_rank,
+            tag,
+            send_end: p.now,
+            seq: p.seq.fetch_add(1, Ordering::Relaxed),
+            payload,
+        };
+        p.mailboxes.of(dest_world).deposit(envelope);
+        bytes
+    }
+
+    fn recv_raw<T: 'static>(&self, p: &mut Proc, src: Src, tag: TagSel) -> Recvd<T> {
+        if let Src::Rank(r) = src {
+            assert!(
+                r < self.size(),
+                "mpisim: receive from invalid rank {r} (comm size {})",
+                self.size()
+            );
+        }
+        let envelope =
+            p.mailboxes
+                .of(p.world_rank)
+                .take_matching(self.id(), src, tag, &p.mailboxes.poison);
+        let topo = p.machine.topology;
+        let link = p
+            .machine
+            .network
+            .link(topo.node_of(envelope.src_world), topo.node_of(p.world_rank));
+        let jitter = p.machine.noise.latency_jitter(&mut p.net_rng);
+        let transfer = link.transfer_secs(envelope.payload.logical_bytes() as usize) + jitter;
+        let arrival = envelope.send_end + VTime::from_secs_f64(transfer);
+        p.now = p.now.max(arrival) + VTime::from_secs_f64(link.overhead);
+        let elems = envelope.payload.elems();
+        let logical_bytes = envelope.payload.logical_bytes();
+        Recvd {
+            data: envelope.payload.into_vec::<T>(),
+            elems,
+            logical_bytes,
+            src: envelope.src_local,
+            tag: envelope.tag,
+        }
+    }
+
+    /// Blocking standard-mode send of a slice (cloned into the message).
+    pub fn send<T: Clone + Send + 'static>(&self, p: &mut Proc, dest: usize, tag: i32, data: &[T]) {
+        p.tool_call_enter(MpiCall::Send, self.id());
+        let bytes = self.send_raw(p, dest, tag, Payload::real(data));
+        p.tool_call_exit(MpiCall::Send, self.id(), bytes);
+    }
+
+    /// Blocking send taking ownership of the buffer (no copy).
+    pub fn send_vec<T: Send + 'static>(&self, p: &mut Proc, dest: usize, tag: i32, data: Vec<T>) {
+        p.tool_call_enter(MpiCall::Send, self.id());
+        let bytes = self.send_raw(p, dest, tag, Payload::from_vec(data));
+        p.tool_call_exit(MpiCall::Send, self.id(), bytes);
+    }
+
+    /// Timing-mode send: prices `elems` elements of `T` without moving data.
+    pub fn send_virtual<T>(&self, p: &mut Proc, dest: usize, tag: i32, elems: usize) {
+        p.tool_call_enter(MpiCall::Send, self.id());
+        let bytes = self.send_raw(p, dest, tag, Payload::virtual_elems::<T>(elems));
+        p.tool_call_exit(MpiCall::Send, self.id(), bytes);
+    }
+
+    /// Blocking receive.
+    pub fn recv<T: 'static>(&self, p: &mut Proc, src: Src, tag: TagSel) -> Recvd<T> {
+        p.tool_call_enter(MpiCall::Recv, self.id());
+        let out = self.recv_raw::<T>(p, src, tag);
+        p.tool_call_exit(MpiCall::Recv, self.id(), out.logical_bytes);
+        out
+    }
+
+    /// Combined send+receive (deadlock-free under the eager model).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv<T: Clone + Send + 'static>(
+        &self,
+        p: &mut Proc,
+        dest: usize,
+        send_tag: i32,
+        data: &[T],
+        src: Src,
+        recv_tag: TagSel,
+    ) -> Recvd<T> {
+        p.tool_call_enter(MpiCall::Sendrecv, self.id());
+        let sent = self.send_raw(p, dest, send_tag, Payload::real(data));
+        let out = self.recv_raw::<T>(p, src, recv_tag);
+        p.tool_call_exit(MpiCall::Sendrecv, self.id(), sent + out.logical_bytes);
+        out
+    }
+
+    /// Timing-mode sendrecv.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv_virtual<T: 'static>(
+        &self,
+        p: &mut Proc,
+        dest: usize,
+        send_tag: i32,
+        elems: usize,
+        src: Src,
+        recv_tag: TagSel,
+    ) -> Recvd<T> {
+        p.tool_call_enter(MpiCall::Sendrecv, self.id());
+        let sent = self.send_raw(p, dest, send_tag, Payload::virtual_elems::<T>(elems));
+        let out = self.recv_raw::<T>(p, src, recv_tag);
+        p.tool_call_exit(MpiCall::Sendrecv, self.id(), sent + out.logical_bytes);
+        out
+    }
+
+    /// Non-blocking (buffered) send.
+    pub fn isend<T: Clone + Send + 'static>(
+        &self,
+        p: &mut Proc,
+        dest: usize,
+        tag: i32,
+        data: &[T],
+    ) -> SendReq {
+        p.tool_call_enter(MpiCall::Isend, self.id());
+        let bytes = self.send_raw(p, dest, tag, Payload::real(data));
+        p.tool_call_exit(MpiCall::Isend, self.id(), bytes);
+        SendReq {
+            bytes,
+            comm: self.id(),
+        }
+    }
+
+    /// Non-blocking receive; matching happens at [`RecvReq::wait`].
+    pub fn irecv<T: 'static>(&self, p: &mut Proc, src: Src, tag: TagSel) -> RecvReq<T> {
+        p.tool_call_enter(MpiCall::Irecv, self.id());
+        p.tool_call_exit(MpiCall::Irecv, self.id(), 0);
+        RecvReq {
+            comm: self.clone(),
+            src,
+            tag,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already queued?
+    ///
+    /// Answers from *real-time* mailbox state: a `false` may become `true`
+    /// the moment the sender's OS thread gets scheduled, independent of
+    /// virtual time. Deterministic protocols should poll in a loop (as
+    /// `RecvReq::test` users do) or use blocking receives; a single probe's
+    /// outcome is not reproducible across runs.
+    pub fn probe(&self, p: &Proc, src: Src, tag: TagSel) -> bool {
+        p.mailboxes.of(p.world_rank).probe(self.id(), src, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Synchronize at the rendezvous; returns the generation record with
+    /// the rank's clock already advanced to the common exit time.
+    fn sync<F>(
+        &self,
+        p: &mut Proc,
+        op: &'static str,
+        my_bytes: u64,
+        slot: Slot,
+        cost: F,
+    ) -> (u64, Arc<Done>)
+    where
+        F: FnOnce(&machine::CollectiveCost<'_>, u64) -> f64,
+    {
+        let machine = p.machine.clone();
+        let spans = self.shared.spans_nodes;
+        let seed = p.seed;
+        let cid = self.shared.id;
+        let psize = self.size();
+        let (gen, done) = self.shared.rendezvous.arrive(
+            self.local_rank,
+            op,
+            p.now,
+            my_bytes,
+            slot,
+            |view| {
+                let cc = machine.collective(psize, spans);
+                let base = cost(&cc, view.total_bytes);
+                // Namespaced so collective streams never collide with the
+                // per-rank (seed, rank, {0,1,2}) streams — comm id 0 and
+                // world rank 0 would otherwise share seeds.
+                let mut rng =
+                    DetRng::for_stream(seed ^ 0x636f_6c6c_6563_7469, cid.0, view.gen);
+                let jitter = machine.noise.latency_jitter(&mut rng);
+                view.max_entry() + VTime::from_secs_f64(base + jitter)
+            },
+            &p.mailboxes.poison,
+        );
+        p.now = done.exit;
+        (gen, done)
+    }
+
+    fn finish(&self, gen: u64, done: &Arc<Done>) {
+        self.shared.rendezvous.finish_read(gen, done);
+    }
+
+    /// Barrier over the communicator.
+    pub fn barrier(&self, p: &mut Proc) {
+        p.tool_call_enter(MpiCall::Barrier, self.id());
+        let (gen, done) = self.sync(p, "barrier", 0, None, |cc, _| cc.barrier());
+        self.finish(gen, &done);
+        p.tool_call_exit(MpiCall::Barrier, self.id(), 0);
+    }
+
+    /// Broadcast from `root`. The root passes `Some(data)`, everyone else
+    /// `None`; all ranks (including the root) receive the broadcast vector.
+    pub fn bcast<T: Clone + Send + 'static>(
+        &self,
+        p: &mut Proc,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        assert!(root < self.size(), "mpisim: bcast root out of range");
+        let is_root = self.local_rank == root;
+        assert_eq!(
+            is_root,
+            data.is_some(),
+            "mpisim: bcast data must be Some exactly on the root"
+        );
+        p.tool_call_enter(MpiCall::Bcast, self.id());
+        let (my_bytes, slot): (u64, Slot) = match data {
+            Some(v) => (
+                (v.len() * std::mem::size_of::<T>()) as u64,
+                Some(Box::new(v)),
+            ),
+            None => (0, None),
+        };
+        let (gen, done) = self.sync(p, "bcast", my_bytes, slot, |cc, total| {
+            cc.bcast(total as usize)
+        });
+        let out = {
+            let slots = done.slots.lock();
+            let any = slots[root].as_ref().expect("mpisim: bcast root slot missing");
+            any.downcast_ref::<Vec<T>>()
+                .expect("mpisim: bcast datatype mismatch")
+                .clone()
+        };
+        self.finish(gen, &done);
+        // Root accounts its send; non-roots their receive (counting both
+        // on the root would double the payload in tool statistics).
+        let recv_bytes = (out.len() * std::mem::size_of::<T>()) as u64;
+        let bytes = if is_root { my_bytes } else { recv_bytes };
+        p.tool_call_exit(MpiCall::Bcast, self.id(), bytes);
+        out
+    }
+
+    /// Timing-mode broadcast: the root declares `Some(elems)`; every rank
+    /// returns the element count (data is never moved).
+    pub fn bcast_virtual<T>(&self, p: &mut Proc, root: usize, elems: Option<usize>) -> usize {
+        assert!(root < self.size(), "mpisim: bcast root out of range");
+        let is_root = self.local_rank == root;
+        assert_eq!(is_root, elems.is_some());
+        p.tool_call_enter(MpiCall::Bcast, self.id());
+        let (my_bytes, slot): (u64, Slot) = match elems {
+            Some(n) => (
+                (n * std::mem::size_of::<T>()) as u64,
+                Some(Box::new(n as u64)),
+            ),
+            None => (0, None),
+        };
+        let (gen, done) = self.sync(p, "bcast", my_bytes, slot, |cc, total| {
+            cc.bcast(total as usize)
+        });
+        let n = {
+            let slots = done.slots.lock();
+            *slots[root]
+                .as_ref()
+                .expect("mpisim: bcast root slot missing")
+                .downcast_ref::<u64>()
+                .expect("mpisim: bcast count mismatch") as usize
+        };
+        self.finish(gen, &done);
+        // Same accounting as the full-fidelity variant: the root reports
+        // its send, everyone else the logical payload received.
+        let bytes = if is_root {
+            my_bytes
+        } else {
+            (n * std::mem::size_of::<T>()) as u64
+        };
+        p.tool_call_exit(MpiCall::Bcast, self.id(), bytes);
+        n
+    }
+
+    /// Variable scatter: the root passes one chunk per rank; every rank
+    /// receives its chunk (moved, not cloned).
+    pub fn scatterv<T: Send + 'static>(
+        &self,
+        p: &mut Proc,
+        root: usize,
+        chunks: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        assert!(root < self.size(), "mpisim: scatterv root out of range");
+        let is_root = self.local_rank == root;
+        assert_eq!(
+            is_root,
+            chunks.is_some(),
+            "mpisim: scatterv chunks must be Some exactly on the root"
+        );
+        p.tool_call_enter(MpiCall::Scatterv, self.id());
+        let (my_bytes, slot): (u64, Slot) = match chunks {
+            Some(cs) => {
+                assert_eq!(cs.len(), self.size(), "mpisim: scatterv needs one chunk per rank");
+                let total: usize = cs.iter().map(|c| c.len()).sum();
+                let boxed: Vec<Option<Vec<T>>> = cs.into_iter().map(Some).collect();
+                (
+                    (total * std::mem::size_of::<T>()) as u64,
+                    Some(Box::new(boxed)),
+                )
+            }
+            None => (0, None),
+        };
+        let (gen, done) = self.sync(p, "scatterv", my_bytes, slot, |cc, total| {
+            cc.scatter(total as usize)
+        });
+        let mine = {
+            let mut slots = done.slots.lock();
+            let any = slots[root].as_mut().expect("mpisim: scatterv root slot missing");
+            let chunks = any
+                .downcast_mut::<Vec<Option<Vec<T>>>>()
+                .expect("mpisim: scatterv datatype mismatch");
+            chunks[self.local_rank]
+                .take()
+                .expect("mpisim: scatterv chunk already taken")
+        };
+        self.finish(gen, &done);
+        let recv_bytes = (mine.len() * std::mem::size_of::<T>()) as u64;
+        p.tool_call_exit(MpiCall::Scatterv, self.id(), my_bytes + recv_bytes);
+        mine
+    }
+
+    /// Equal-chunk scatter: the root's buffer length must be divisible by
+    /// the communicator size.
+    pub fn scatter<T: Send + 'static>(
+        &self,
+        p: &mut Proc,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        let chunks = data.map(|v| {
+            let p_count = self.size();
+            assert!(
+                v.len() % p_count == 0,
+                "mpisim: scatter length {} not divisible by {p_count}",
+                v.len()
+            );
+            let chunk = v.len() / p_count;
+            let mut v = v;
+            let mut out = Vec::with_capacity(p_count);
+            for _ in 0..p_count {
+                let rest = v.split_off(chunk);
+                out.push(v);
+                v = rest;
+            }
+            out
+        });
+        self.scatterv(p, root, chunks)
+    }
+
+    /// Timing-mode variable scatter: the root declares per-rank element
+    /// counts; every rank returns its own count.
+    pub fn scatterv_virtual<T>(
+        &self,
+        p: &mut Proc,
+        root: usize,
+        counts: Option<Vec<usize>>,
+    ) -> usize {
+        assert!(root < self.size(), "mpisim: scatterv root out of range");
+        let is_root = self.local_rank == root;
+        assert_eq!(is_root, counts.is_some());
+        p.tool_call_enter(MpiCall::Scatterv, self.id());
+        let (my_bytes, slot): (u64, Slot) = match counts {
+            Some(cs) => {
+                assert_eq!(cs.len(), self.size());
+                let total: usize = cs.iter().sum();
+                (
+                    (total * std::mem::size_of::<T>()) as u64,
+                    Some(Box::new(cs)),
+                )
+            }
+            None => (0, None),
+        };
+        let (gen, done) = self.sync(p, "scatterv", my_bytes, slot, |cc, total| {
+            cc.scatter(total as usize)
+        });
+        let mine = {
+            let slots = done.slots.lock();
+            slots[root]
+                .as_ref()
+                .expect("mpisim: scatterv root slot missing")
+                .downcast_ref::<Vec<usize>>()
+                .expect("mpisim: scatterv counts mismatch")[self.local_rank]
+        };
+        self.finish(gen, &done);
+        // Match the full-fidelity accounting: contribution plus the
+        // logical chunk received.
+        let recv_bytes = (mine * std::mem::size_of::<T>()) as u64;
+        p.tool_call_exit(MpiCall::Scatterv, self.id(), my_bytes + recv_bytes);
+        mine
+    }
+
+    /// Variable gather: every rank contributes a vector; the root receives
+    /// all of them indexed by local rank (others receive an empty vec).
+    pub fn gatherv<T: Send + 'static>(
+        &self,
+        p: &mut Proc,
+        root: usize,
+        data: Vec<T>,
+    ) -> Vec<Vec<T>> {
+        assert!(root < self.size(), "mpisim: gatherv root out of range");
+        p.tool_call_enter(MpiCall::Gatherv, self.id());
+        let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let slot: Slot = Some(Box::new(data));
+        let (gen, done) = self.sync(p, "gatherv", my_bytes, slot, |cc, total| {
+            cc.gather(total as usize)
+        });
+        let out = if self.local_rank == root {
+            let mut slots = done.slots.lock();
+            let mut all = Vec::with_capacity(self.size());
+            for slot in slots.iter_mut() {
+                let boxed = slot.take().expect("mpisim: gatherv slot missing");
+                all.push(
+                    *boxed
+                        .downcast::<Vec<T>>()
+                        .unwrap_or_else(|_| panic!("mpisim: gatherv datatype mismatch")),
+                );
+            }
+            all
+        } else {
+            Vec::new()
+        };
+        self.finish(gen, &done);
+        let recv_bytes: u64 = out
+            .iter()
+            .map(|v| (v.len() * std::mem::size_of::<T>()) as u64)
+            .sum();
+        p.tool_call_exit(MpiCall::Gatherv, self.id(), my_bytes + recv_bytes);
+        out
+    }
+
+    /// Gather with flattening: the root receives all contributions
+    /// concatenated in rank order.
+    pub fn gather<T: Send + 'static>(&self, p: &mut Proc, root: usize, data: Vec<T>) -> Vec<T> {
+        self.gatherv(p, root, data).into_iter().flatten().collect()
+    }
+
+    /// Timing-mode gather: ranks declare element counts; the root returns
+    /// all counts (others an empty vec).
+    pub fn gatherv_virtual<T>(&self, p: &mut Proc, root: usize, elems: usize) -> Vec<usize> {
+        assert!(root < self.size(), "mpisim: gatherv root out of range");
+        p.tool_call_enter(MpiCall::Gatherv, self.id());
+        let my_bytes = (elems * std::mem::size_of::<T>()) as u64;
+        let slot: Slot = Some(Box::new(elems as u64));
+        let (gen, done) = self.sync(p, "gatherv", my_bytes, slot, |cc, total| {
+            cc.gather(total as usize)
+        });
+        let out: Vec<usize> = if self.local_rank == root {
+            let slots = done.slots.lock();
+            slots
+                .iter()
+                .map(|s| {
+                    *s.as_ref()
+                        .expect("mpisim: gatherv slot missing")
+                        .downcast_ref::<u64>()
+                        .expect("mpisim: gatherv count mismatch") as usize
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.finish(gen, &done);
+        // Match the full-fidelity accounting: the root also counts the
+        // logical bytes it received.
+        let recv_bytes: u64 = out
+            .iter()
+            .map(|&n| (n * std::mem::size_of::<T>()) as u64)
+            .sum();
+        p.tool_call_exit(MpiCall::Gatherv, self.id(), my_bytes + recv_bytes);
+        out
+    }
+
+    /// Allgather: every rank receives every rank's contribution, indexed by
+    /// local rank.
+    pub fn allgather<T: Clone + Send + 'static>(&self, p: &mut Proc, data: Vec<T>) -> Vec<Vec<T>> {
+        p.tool_call_enter(MpiCall::Allgather, self.id());
+        let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let slot: Slot = Some(Box::new(data));
+        let psize = self.size();
+        let (gen, done) = self.sync(p, "allgather", my_bytes, slot, |cc, total| {
+            cc.allgather((total as usize) / psize.max(1))
+        });
+        let out: Vec<Vec<T>> = {
+            let slots = done.slots.lock();
+            slots
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .expect("mpisim: allgather slot missing")
+                        .downcast_ref::<Vec<T>>()
+                        .expect("mpisim: allgather datatype mismatch")
+                        .clone()
+                })
+                .collect()
+        };
+        self.finish(gen, &done);
+        let total_bytes: u64 = out
+            .iter()
+            .map(|v| (v.len() * std::mem::size_of::<T>()) as u64)
+            .sum();
+        p.tool_call_exit(MpiCall::Allgather, self.id(), total_bytes);
+        out
+    }
+
+    /// Element-wise reduction to the root. All ranks must contribute
+    /// vectors of equal length and the same associative `op`.
+    pub fn reduce<T, F>(&self, p: &mut Proc, root: usize, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        assert!(root < self.size(), "mpisim: reduce root out of range");
+        p.tool_call_enter(MpiCall::Reduce, self.id());
+        let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let psize = self.size();
+        let slot: Slot = Some(Box::new(data));
+        let (gen, done) = self.sync(p, "reduce", my_bytes, slot, |cc, total| {
+            cc.reduce((total as usize) / psize.max(1))
+        });
+        let out = if self.local_rank == root {
+            Self::fold_slots(&done, psize, &op)
+        } else {
+            Vec::new()
+        };
+        self.finish(gen, &done);
+        p.tool_call_exit(MpiCall::Reduce, self.id(), my_bytes);
+        out
+    }
+
+    /// Element-wise all-reduce: all ranks receive the reduction.
+    pub fn allreduce<T, F>(&self, p: &mut Proc, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        p.tool_call_enter(MpiCall::Allreduce, self.id());
+        let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let psize = self.size();
+        let slot: Slot = Some(Box::new(data));
+        let (gen, done) = self.sync(p, "allreduce", my_bytes, slot, |cc, total| {
+            cc.allreduce((total as usize) / psize.max(1))
+        });
+        let out = Self::fold_slots(&done, psize, &op);
+        self.finish(gen, &done);
+        p.tool_call_exit(MpiCall::Allreduce, self.id(), my_bytes);
+        out
+    }
+
+    fn fold_slots<T, F>(done: &Arc<Done>, psize: usize, op: &F) -> Vec<T>
+    where
+        T: Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let slots = done.slots.lock();
+        let first = slots[0]
+            .as_ref()
+            .expect("mpisim: reduce slot missing")
+            .downcast_ref::<Vec<T>>()
+            .expect("mpisim: reduce datatype mismatch");
+        let mut acc = first.clone();
+        for slot in slots.iter().take(psize).skip(1) {
+            let v = slot
+                .as_ref()
+                .expect("mpisim: reduce slot missing")
+                .downcast_ref::<Vec<T>>()
+                .expect("mpisim: reduce datatype mismatch");
+            assert_eq!(
+                v.len(),
+                acc.len(),
+                "mpisim: reduce contributions have different lengths"
+            );
+            for (a, b) in acc.iter_mut().zip(v.iter()) {
+                *a = op(a, b);
+            }
+        }
+        acc
+    }
+
+    /// Scalar f64 allreduce with the minimum operator (the LULESH `dtmin`).
+    pub fn allreduce_min_f64(&self, p: &mut Proc, x: f64) -> f64 {
+        self.allreduce(p, vec![x], |a, b| a.min(*b))[0]
+    }
+
+    /// Scalar f64 allreduce with the sum operator.
+    pub fn allreduce_sum_f64(&self, p: &mut Proc, x: f64) -> f64 {
+        self.allreduce(p, vec![x], |a, b| a + b)[0]
+    }
+
+    /// Scalar f64 allreduce with the maximum operator.
+    pub fn allreduce_max_f64(&self, p: &mut Proc, x: f64) -> f64 {
+        self.allreduce(p, vec![x], |a, b| a.max(*b))[0]
+    }
+
+    /// All-to-all: rank `i` sends `chunks[j]` to rank `j`; returns the
+    /// chunks received, indexed by source rank.
+    pub fn alltoall<T: Send + 'static>(&self, p: &mut Proc, chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(
+            chunks.len(),
+            self.size(),
+            "mpisim: alltoall needs one chunk per rank"
+        );
+        p.tool_call_enter(MpiCall::Alltoall, self.id());
+        let my_bytes: u64 = chunks
+            .iter()
+            .map(|c| (c.len() * std::mem::size_of::<T>()) as u64)
+            .sum();
+        let psize = self.size();
+        let boxed: Vec<Option<Vec<T>>> = chunks.into_iter().map(Some).collect();
+        let slot: Slot = Some(Box::new(boxed));
+        let (gen, done) = self.sync(p, "alltoall", my_bytes, slot, |cc, total| {
+            cc.alltoall((total as usize) / (psize * psize).max(1))
+        });
+        let out: Vec<Vec<T>> = {
+            let mut slots = done.slots.lock();
+            (0..psize)
+                .map(|src| {
+                    let any = slots[src].as_mut().expect("mpisim: alltoall slot missing");
+                    let sender_chunks = any
+                        .downcast_mut::<Vec<Option<Vec<T>>>>()
+                        .expect("mpisim: alltoall datatype mismatch");
+                    sender_chunks[self.local_rank]
+                        .take()
+                        .expect("mpisim: alltoall chunk already taken")
+                })
+                .collect()
+        };
+        self.finish(gen, &done);
+        let recv_bytes: u64 = out
+            .iter()
+            .map(|v| (v.len() * std::mem::size_of::<T>()) as u64)
+            .sum();
+        p.tool_call_exit(MpiCall::Alltoall, self.id(), my_bytes + recv_bytes);
+        out
+    }
+
+    /// Exclusive element-wise scan: rank `r` receives the reduction of the
+    /// contributions of ranks `0..r`; rank 0 receives `identity`.
+    pub fn exscan<T, F>(&self, p: &mut Proc, data: Vec<T>, identity: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        p.tool_call_enter(MpiCall::Scan, self.id());
+        let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let psize = self.size();
+        let slot: Slot = Some(Box::new(data));
+        let (gen, done) = self.sync(p, "exscan", my_bytes, slot, |cc, total| {
+            cc.scan((total as usize) / psize.max(1))
+        });
+        let out = {
+            let slots = done.slots.lock();
+            let mut acc = identity;
+            for slot in slots.iter().take(self.local_rank) {
+                let v = slot
+                    .as_ref()
+                    .expect("mpisim: exscan slot missing")
+                    .downcast_ref::<Vec<T>>()
+                    .expect("mpisim: exscan datatype mismatch");
+                assert_eq!(v.len(), acc.len(), "mpisim: exscan length mismatch");
+                for (a, b) in acc.iter_mut().zip(v.iter()) {
+                    *a = op(a, b);
+                }
+            }
+            acc
+        };
+        self.finish(gen, &done);
+        p.tool_call_exit(MpiCall::Scan, self.id(), my_bytes);
+        out
+    }
+
+    /// Reduce-scatter with equal blocks: element-wise reduction of all
+    /// contributions, then rank `r` receives block `r` of the result.
+    /// Every rank must contribute `size() * block_len` elements.
+    pub fn reduce_scatter_block<T, F>(&self, p: &mut Proc, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let psize = self.size();
+        assert!(
+            data.len().is_multiple_of(psize),
+            "mpisim: reduce_scatter_block length {} not divisible by {psize}",
+            data.len()
+        );
+        let block = data.len() / psize;
+        p.tool_call_enter(MpiCall::Reduce, self.id());
+        let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let slot: Slot = Some(Box::new(data));
+        let (gen, done) = self.sync(p, "reduce_scatter", my_bytes, slot, |cc, total| {
+            // Same communication volume class as an allreduce of one block.
+            cc.allreduce((total as usize) / (psize * psize).max(1))
+        });
+        let full = Self::fold_slots::<T, F>(&done, psize, &op);
+        self.finish(gen, &done);
+        let out: Vec<T> =
+            full[self.local_rank * block..(self.local_rank + 1) * block].to_vec();
+        p.tool_call_exit(MpiCall::Reduce, self.id(), my_bytes);
+        out
+    }
+
+    /// Inclusive element-wise scan: rank `r` receives the reduction of the
+    /// contributions of ranks `0..=r`.
+    pub fn scan<T, F>(&self, p: &mut Proc, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        p.tool_call_enter(MpiCall::Scan, self.id());
+        let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let psize = self.size();
+        let slot: Slot = Some(Box::new(data));
+        let (gen, done) = self.sync(p, "scan", my_bytes, slot, |cc, total| {
+            cc.scan((total as usize) / psize.max(1))
+        });
+        let out = {
+            let slots = done.slots.lock();
+            let mut acc = slots[0]
+                .as_ref()
+                .expect("mpisim: scan slot missing")
+                .downcast_ref::<Vec<T>>()
+                .expect("mpisim: scan datatype mismatch")
+                .clone();
+            for slot in slots.iter().take(self.local_rank + 1).skip(1) {
+                let v = slot
+                    .as_ref()
+                    .expect("mpisim: scan slot missing")
+                    .downcast_ref::<Vec<T>>()
+                    .expect("mpisim: scan datatype mismatch");
+                for (a, b) in acc.iter_mut().zip(v.iter()) {
+                    *a = op(a, b);
+                }
+            }
+            acc
+        };
+        self.finish(gen, &done);
+        p.tool_call_exit(MpiCall::Scan, self.id(), my_bytes);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator construction
+    // ------------------------------------------------------------------
+
+    /// Split the communicator by color. Ranks passing `None` end up in no
+    /// new communicator (MPI_UNDEFINED). Within one color, new ranks are
+    /// ordered by `(key, old rank)`.
+    pub fn split(&self, p: &mut Proc, color: Option<i32>, key: i32) -> Option<Comm> {
+        p.tool_call_enter(MpiCall::CommSplit, self.id());
+
+        // Phase 1: exchange (color, key) pairs; costed as a barrier.
+        let slot: Slot = Some(Box::new((color, key)));
+        let (xgen, done) = self.sync(p, "split.exchange", 0, slot, |cc, _| cc.barrier());
+        let gen = xgen;
+        let pairs: Vec<(Option<i32>, i32)> = {
+            let slots = done.slots.lock();
+            slots
+                .iter()
+                .map(|s| {
+                    *s.as_ref()
+                        .expect("mpisim: split slot missing")
+                        .downcast_ref::<(Option<i32>, i32)>()
+                        .expect("mpisim: split payload mismatch")
+                })
+                .collect()
+        };
+        self.finish(gen, &done);
+
+        // Grouping (deterministic on every rank): colors in ascending
+        // order; members ordered by (key, old local rank).
+        let mut colors: Vec<i32> = pairs.iter().filter_map(|(c, _)| *c).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        let groups: Vec<(i32, Vec<usize>)> = colors
+            .iter()
+            .map(|&c| {
+                let mut members: Vec<(i32, usize)> = pairs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(local, (col, k))| (*col == Some(c)).then_some((*k, local)))
+                    .collect();
+                members.sort_unstable();
+                (c, members.into_iter().map(|(_, local)| local).collect())
+            })
+            .collect();
+
+        // Phase 2: old local rank 0 creates the shared objects and
+        // publishes them; every member picks up its group's comm. The
+        // child ids are *derived* from (parent id, split sequence, color)
+        // rather than drawn from a global counter: disjoint communicators
+        // may split concurrently, and a counter would hand out ids in
+        // real-time order, breaking run-to-run determinism of everything
+        // keyed by comm id (collective jitter streams). The top bit marks
+        // derived ids so they never collide with counter-allocated ones.
+        let slot: Slot = if self.local_rank == 0 {
+            let created: Vec<(i32, Arc<CommShared>)> = groups
+                .iter()
+                .map(|(c, members)| {
+                    let world_ranks: Vec<usize> =
+                        members.iter().map(|&l| self.world_rank_of(l)).collect();
+                    let derived = machine::noise::mix64(
+                        machine::noise::mix64(self.shared.id.0 ^ (xgen << 24))
+                            ^ (*c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ) | (1 << 63);
+                    (*c, p.registry.register_with_id(CommId(derived), world_ranks))
+                })
+                .collect();
+            Some(Box::new(created))
+        } else {
+            None
+        };
+        let (gen, done) = self.sync(p, "split.create", 0, slot, |cc, _| cc.barrier());
+        let result = color.and_then(|my_color| {
+            let slots = done.slots.lock();
+            let created = slots[0]
+                .as_ref()
+                .expect("mpisim: split create slot missing")
+                .downcast_ref::<Vec<(i32, Arc<CommShared>)>>()
+                .expect("mpisim: split create mismatch");
+            created.iter().find_map(|(c, shared)| {
+                (*c == my_color).then(|| Comm::from_shared(shared.clone(), p.world_rank))
+            })
+        });
+        self.finish(gen, &done);
+        p.tool_call_exit(MpiCall::CommSplit, self.id(), 0);
+        result
+    }
+
+    /// Duplicate the communicator (same group, fresh id).
+    pub fn dup(&self, p: &mut Proc) -> Comm {
+        p.tool_call_enter(MpiCall::CommDup, self.id());
+        let dup = self
+            .split(p, Some(0), self.local_rank as i32)
+            .expect("mpisim: dup split cannot fail");
+        p.tool_call_exit(MpiCall::CommDup, self.id(), 0);
+        dup
+    }
+}

@@ -1,0 +1,51 @@
+//! Run-level error reporting.
+//!
+//! Inside a rank, misuse (bad peer rank, datatype mismatch, malformed
+//! collective) panics — mirroring `MPI_ERRORS_ARE_FATAL`, the default error
+//! handler of every real MPI. The launch harness catches rank panics,
+//! poisons the world so blocked peers unwind instead of deadlocking, and
+//! surfaces the first failure as a [`RunError`].
+
+use std::fmt;
+
+/// Why a simulated run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A rank panicked; carries the rank id and the panic payload (when it
+    /// was a string).
+    RankPanicked { rank: usize, message: String },
+    /// The run was configured with zero ranks.
+    NoRanks,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} failed: {message}")
+            }
+            RunError::NoRanks => write!(f, "world must have at least one rank"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Panic message used when a rank unwinds *because* another rank already
+/// poisoned the world; such secondary panics are suppressed in reports.
+pub const POISONED_MSG: &str = "mpisim: world poisoned by another rank's failure";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = RunError::RankPanicked {
+            rank: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "rank 3 failed: boom");
+        assert_eq!(RunError::NoRanks.to_string(), "world must have at least one rank");
+    }
+}

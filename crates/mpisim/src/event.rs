@@ -1,0 +1,202 @@
+//! Tool-visible runtime events — the simulator's PMPI layer.
+//!
+//! Real MPI tools interpose on the profiling interface (PMPI): every MPI
+//! function has a `PMPI_` twin and a tool redefines the public symbol to
+//! observe the call. Our in-process equivalent raises a typed [`MpiEvent`]
+//! at the entry and exit of every communication call, at Init/Finalize, and
+//! for the `MPIX_Section_enter/leave` notifications of the paper (Fig. 2),
+//! including their 32-byte tool data blob.
+
+use machine::VTime;
+use std::sync::Arc;
+
+/// Identifies a communicator within one world. The world communicator is
+/// always id 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommId(pub u64);
+
+impl CommId {
+    /// The world communicator.
+    pub const WORLD: CommId = CommId(0);
+}
+
+/// Which MPI-level operation an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MpiCall {
+    Send,
+    Recv,
+    Sendrecv,
+    Isend,
+    Irecv,
+    Wait,
+    Barrier,
+    Bcast,
+    Scatter,
+    Scatterv,
+    Gather,
+    Gatherv,
+    Allgather,
+    Reduce,
+    Allreduce,
+    Alltoall,
+    Scan,
+    CommDup,
+    CommSplit,
+}
+
+impl MpiCall {
+    /// Human-readable MPI-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpiCall::Send => "MPI_Send",
+            MpiCall::Recv => "MPI_Recv",
+            MpiCall::Sendrecv => "MPI_Sendrecv",
+            MpiCall::Isend => "MPI_Isend",
+            MpiCall::Irecv => "MPI_Irecv",
+            MpiCall::Wait => "MPI_Wait",
+            MpiCall::Barrier => "MPI_Barrier",
+            MpiCall::Bcast => "MPI_Bcast",
+            MpiCall::Scatter => "MPI_Scatter",
+            MpiCall::Scatterv => "MPI_Scatterv",
+            MpiCall::Gather => "MPI_Gather",
+            MpiCall::Gatherv => "MPI_Gatherv",
+            MpiCall::Allgather => "MPI_Allgather",
+            MpiCall::Reduce => "MPI_Reduce",
+            MpiCall::Allreduce => "MPI_Allreduce",
+            MpiCall::Alltoall => "MPI_Alltoall",
+            MpiCall::Scan => "MPI_Scan",
+            MpiCall::CommDup => "MPI_Comm_dup",
+            MpiCall::CommSplit => "MPI_Comm_split",
+        }
+    }
+
+    /// True for operations that involve every rank of the communicator.
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            MpiCall::Barrier
+                | MpiCall::Bcast
+                | MpiCall::Scatter
+                | MpiCall::Scatterv
+                | MpiCall::Gather
+                | MpiCall::Gatherv
+                | MpiCall::Allgather
+                | MpiCall::Reduce
+                | MpiCall::Allreduce
+                | MpiCall::Alltoall
+                | MpiCall::Scan
+                | MpiCall::CommDup
+                | MpiCall::CommSplit
+        )
+    }
+}
+
+/// The 32-byte opaque tool-data argument of the section callback interface
+/// (Fig. 2 of the paper), preserved by the runtime between enter and leave.
+pub type SectionData = [u8; 32];
+
+/// One PMPI-level event, delivered to every registered [`crate::Tool`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum MpiEvent {
+    /// The rank entered the runtime (start of the SPMD function).
+    Init {
+        /// World size.
+        size: usize,
+        /// Virtual time on this rank (always zero today).
+        time: VTime,
+    },
+    /// The rank is about to leave the runtime.
+    Finalize { time: VTime },
+    /// An MPI call is starting on this rank.
+    CallEnter {
+        call: MpiCall,
+        comm: CommId,
+        time: VTime,
+    },
+    /// An MPI call finished on this rank.
+    CallExit {
+        call: MpiCall,
+        comm: CommId,
+        time: VTime,
+        /// Logical payload bytes this rank sent plus received in the call.
+        bytes: u64,
+    },
+    /// `MPIX_Section_enter` notification (the paper's enter callback).
+    SectionEnter {
+        comm: CommId,
+        /// Size of the communicator the section is collective over.
+        comm_size: usize,
+        /// Rank local to that communicator.
+        comm_rank: usize,
+        label: Arc<str>,
+        data: SectionData,
+        time: VTime,
+    },
+    /// `MPIX_Section_leave` notification (the paper's leave callback).
+    SectionLeave {
+        comm: CommId,
+        comm_size: usize,
+        comm_rank: usize,
+        label: Arc<str>,
+        data: SectionData,
+        time: VTime,
+    },
+    /// `MPI_Pcontrol(level)` — the standard's tool-control hook, whose
+    /// semantics are tool-defined (the IPM phase-outlining mechanism the
+    /// paper compares against in §6).
+    Pcontrol { level: i32, time: VTime },
+}
+
+impl MpiEvent {
+    /// The virtual timestamp carried by the event.
+    pub fn time(&self) -> VTime {
+        match self {
+            MpiEvent::Init { time, .. }
+            | MpiEvent::Finalize { time }
+            | MpiEvent::CallEnter { time, .. }
+            | MpiEvent::CallExit { time, .. }
+            | MpiEvent::SectionEnter { time, .. }
+            | MpiEvent::SectionLeave { time, .. }
+            | MpiEvent::Pcontrol { time, .. } => *time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_names() {
+        assert_eq!(MpiCall::Send.name(), "MPI_Send");
+        assert_eq!(MpiCall::Allreduce.name(), "MPI_Allreduce");
+    }
+
+    #[test]
+    fn collective_classification() {
+        assert!(MpiCall::Barrier.is_collective());
+        assert!(MpiCall::CommSplit.is_collective());
+        assert!(!MpiCall::Send.is_collective());
+        assert!(!MpiCall::Irecv.is_collective());
+    }
+
+    #[test]
+    fn event_time_accessor() {
+        let e = MpiEvent::Init {
+            size: 4,
+            time: VTime::from_nanos(7),
+        };
+        assert_eq!(e.time(), VTime::from_nanos(7));
+        let e = MpiEvent::SectionEnter {
+            comm: CommId::WORLD,
+            comm_size: 4,
+            comm_rank: 0,
+            label: Arc::from("HALO"),
+            data: [0; 32],
+            time: VTime::from_nanos(9),
+        };
+        assert_eq!(e.time(), VTime::from_nanos(9));
+    }
+}

@@ -1,0 +1,62 @@
+//! # mpisim — a virtual-time, in-process MPI-like runtime
+//!
+//! This crate is the substrate that replaces a real MPI library in the
+//! reproduction of *"Towards a Better Expressiveness of the Speedup Metric
+//! in MPI Context"* (ICPPW 2017). It provides, in-process:
+//!
+//! * an SPMD launcher ([`WorldBuilder`]) running one OS thread per rank;
+//! * communicators ([`Comm`]) with `dup`/`split`, point-to-point messaging
+//!   (blocking, non-blocking, combined sendrecv, virtual/timing-mode
+//!   payloads) and the usual collectives (barrier, bcast, scatter(v),
+//!   gather(v), allgather, reduce, allreduce, alltoall, scan);
+//! * **virtual time**: each rank owns a clock; computation is priced by a
+//!   [`machine::MachineModel`], messages piggyback their departure
+//!   timestamps, and collectives synchronize clocks — so a 456-rank cluster
+//!   job "runs" on a laptop with reproducible, causally propagated waiting
+//!   time;
+//! * a **PMPI-style tool layer** ([`Tool`]): every call raises typed enter
+//!   and exit events, which is the interposition point the paper's
+//!   `MPI_Section` reference implementation hooks into (the `mpi-sections`
+//!   crate builds on it).
+//!
+//! ## Example
+//!
+//! ```
+//! use mpisim::{WorldBuilder, Src, TagSel};
+//!
+//! let report = WorldBuilder::new(2)
+//!     .run(|p| {
+//!         let world = p.world();
+//!         if p.world_rank() == 0 {
+//!             world.send(p, 1, 0, &[1u32, 2, 3]);
+//!             0
+//!         } else {
+//!             let msg = world.recv::<u32>(p, Src::Rank(0), TagSel::Is(0));
+//!             msg.data.iter().sum::<u32>()
+//!         }
+//!     })
+//!     .unwrap();
+//! assert_eq!(report.results, vec![0, 6]);
+//! ```
+
+pub mod cart;
+pub mod collective;
+pub mod comm;
+pub mod error;
+pub mod event;
+pub mod mailbox;
+pub mod message;
+pub mod proc;
+pub mod tool;
+pub mod topo;
+pub mod world;
+
+pub use cart::CartComm;
+pub use comm::{waitall, Comm, Recvd, RecvReq, SendReq};
+pub use error::RunError;
+pub use event::{CommId, MpiCall, MpiEvent, SectionData};
+pub use message::{Payload, Src, TagSel};
+pub use proc::Proc;
+pub use tool::{Tool, ToolSet};
+pub use topo::{dims_create, CartGrid};
+pub use world::{RunReport, WorldBuilder};

@@ -1,0 +1,219 @@
+//! Per-rank mailboxes: the matching queues behind point-to-point messaging.
+//!
+//! Each world rank owns one mailbox. Senders deposit [`Envelope`]s; the
+//! receiving rank's thread blocks on its own mailbox until a matching
+//! envelope appears. Matching scans in arrival order, which preserves MPI's
+//! non-overtaking rule for a fixed `(source, communicator)` pair because a
+//! sender deposits its messages in program order.
+//!
+//! Mailboxes participate in world poisoning: when any rank fails, waiters
+//! are woken and unwind instead of blocking forever.
+
+use crate::error::POISONED_MSG;
+use crate::event::CommId;
+use crate::message::{Envelope, Src, TagSel};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared poison flag for a world.
+#[derive(Debug, Default)]
+pub struct Poison {
+    flag: AtomicBool,
+}
+
+impl Poison {
+    /// Mark the world as failed.
+    pub fn set(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has any rank failed?
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Unwind the calling thread if the world is poisoned.
+    #[inline]
+    pub fn check(&self) {
+        if self.is_set() {
+            panic!("{POISONED_MSG}");
+        }
+    }
+}
+
+/// One rank's incoming-message queue.
+pub struct Mailbox {
+    queue: Mutex<Vec<Envelope>>,
+    arrived: Condvar,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox {
+            queue: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+        }
+    }
+}
+
+impl Mailbox {
+    /// Deposit a message (called from the sender's thread).
+    pub fn deposit(&self, envelope: Envelope) {
+        self.queue.lock().push(envelope);
+        self.arrived.notify_all();
+    }
+
+    /// Block until a message matching `(comm, src, tag)` is present and
+    /// remove it. Unwinds if the world gets poisoned while waiting.
+    pub fn take_matching(&self, comm: CommId, src: Src, tag: TagSel, poison: &Poison) -> Envelope {
+        let mut queue = self.queue.lock();
+        loop {
+            poison.check();
+            if let Some(pos) = queue.iter().position(|e| e.matches(comm, src, tag)) {
+                return queue.remove(pos);
+            }
+            self.arrived.wait(&mut queue);
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already here?
+    pub fn probe(&self, comm: CommId, src: Src, tag: TagSel) -> bool {
+        self.queue.lock().iter().any(|e| e.matches(comm, src, tag))
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wake all waiters (used when poisoning the world).
+    pub fn wake_all(&self) {
+        // Acquire the lock so a waiter between its poison check and its
+        // wait() cannot miss the notification.
+        let _guard = self.queue.lock();
+        self.arrived.notify_all();
+    }
+}
+
+/// The full set of mailboxes of a world.
+pub struct MailboxSet {
+    boxes: Vec<Mailbox>,
+    pub poison: Arc<Poison>,
+}
+
+impl MailboxSet {
+    /// Create mailboxes for `nranks` ranks.
+    pub fn new(nranks: usize, poison: Arc<Poison>) -> Self {
+        MailboxSet {
+            boxes: (0..nranks).map(|_| Mailbox::default()).collect(),
+            poison,
+        }
+    }
+
+    /// The mailbox of a world rank.
+    #[inline]
+    pub fn of(&self, world_rank: usize) -> &Mailbox {
+        &self.boxes[world_rank]
+    }
+
+    /// Poison the world and wake every blocked receiver.
+    pub fn poison_all(&self) {
+        self.poison.set();
+        for b in &self.boxes {
+            b.wake_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use machine::VTime;
+    use std::thread;
+    use std::time::Duration;
+
+    fn envelope(src: usize, tag: i32, seq: u64) -> Envelope {
+        Envelope {
+            comm: CommId::WORLD,
+            src_local: src,
+            src_world: src,
+            tag,
+            send_end: VTime::ZERO,
+            seq,
+            payload: Payload::real(&[seq as u32]),
+        }
+    }
+
+    #[test]
+    fn deposit_then_take() {
+        let mb = Mailbox::default();
+        let poison = Poison::default();
+        mb.deposit(envelope(1, 5, 0));
+        assert!(mb.probe(CommId::WORLD, Src::Rank(1), TagSel::Is(5)));
+        let e = mb.take_matching(CommId::WORLD, Src::Rank(1), TagSel::Is(5), &poison);
+        assert_eq!(e.src_local, 1);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn non_overtaking_per_source() {
+        let mb = Mailbox::default();
+        let poison = Poison::default();
+        mb.deposit(envelope(1, 5, 0));
+        mb.deposit(envelope(1, 5, 1));
+        let a = mb.take_matching(CommId::WORLD, Src::Rank(1), TagSel::Is(5), &poison);
+        let b = mb.take_matching(CommId::WORLD, Src::Rank(1), TagSel::Is(5), &poison);
+        assert!(a.seq < b.seq);
+    }
+
+    #[test]
+    fn selective_matching_skips_nonmatching() {
+        let mb = Mailbox::default();
+        let poison = Poison::default();
+        mb.deposit(envelope(1, 5, 0));
+        mb.deposit(envelope(2, 7, 1));
+        let e = mb.take_matching(CommId::WORLD, Src::Rank(2), TagSel::Any, &poison);
+        assert_eq!(e.src_local, 2);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_deposit() {
+        let mb = Arc::new(Mailbox::default());
+        let poison = Arc::new(Poison::default());
+        let mb2 = mb.clone();
+        let poison2 = poison.clone();
+        let handle = thread::spawn(move || {
+            mb2.take_matching(CommId::WORLD, Src::Rank(0), TagSel::Is(1), &poison2)
+                .seq
+        });
+        thread::sleep(Duration::from_millis(20));
+        mb.deposit(envelope(0, 1, 42));
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn poison_unblocks_waiters() {
+        let poison = Arc::new(Poison::default());
+        let set = Arc::new(MailboxSet::new(2, poison));
+        let set2 = set.clone();
+        let handle = thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                set2.of(0)
+                    .take_matching(CommId::WORLD, Src::Any, TagSel::Any, &set2.poison);
+            }));
+            result.is_err()
+        });
+        thread::sleep(Duration::from_millis(20));
+        set.poison_all();
+        assert!(handle.join().unwrap(), "waiter should unwind on poison");
+    }
+}

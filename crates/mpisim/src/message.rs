@@ -1,0 +1,224 @@
+//! Message payloads and envelopes.
+//!
+//! Payloads carry *logical* size separately from actual data so the same
+//! runtime serves two fidelity levels (see DESIGN.md):
+//!
+//! * **Full** — the payload holds a real `Vec<T>`; timing uses its byte size.
+//! * **Timing** — the payload is empty but declares the logical element
+//!   count; the network model prices the declared size. This is what lets a
+//!   456-rank convolution over a 505 MB image run in megabytes of RAM.
+
+use crate::event::CommId;
+use machine::VTime;
+use std::any::Any;
+
+/// Message selector for the source rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Match a specific local rank of the communicator.
+    Rank(usize),
+    /// Match any source (`MPI_ANY_SOURCE`). Matching order among already
+    /// arrived messages follows arrival order, which — as in real MPI — is
+    /// not deterministic across runs; prefer `Rank` in deterministic tests.
+    Any,
+}
+
+/// Message selector for the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match a specific tag.
+    Is(i32),
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+}
+
+/// A typed-erased message payload with explicit logical size.
+pub struct Payload {
+    /// The data, when running at full fidelity. `None` in timing mode.
+    data: Option<Box<dyn Any + Send>>,
+    /// Logical element count (drives `elems` on the receive side).
+    elems: usize,
+    /// Logical byte size (drives the network model).
+    logical_bytes: u64,
+}
+
+impl Payload {
+    /// A real payload cloned from a slice.
+    pub fn real<T: Clone + Send + 'static>(data: &[T]) -> Payload {
+        Payload {
+            elems: data.len(),
+            logical_bytes: std::mem::size_of_val(data) as u64,
+            data: Some(Box::new(data.to_vec())),
+        }
+    }
+
+    /// A real payload taking ownership of a vector (no copy).
+    pub fn from_vec<T: Send + 'static>(data: Vec<T>) -> Payload {
+        Payload {
+            elems: data.len(),
+            logical_bytes: (data.len() * std::mem::size_of::<T>()) as u64,
+            data: Some(Box::new(data)),
+        }
+    }
+
+    /// A virtual payload of `elems` elements of type `T` (timing mode).
+    pub fn virtual_elems<T>(elems: usize) -> Payload {
+        Payload {
+            data: None,
+            elems,
+            logical_bytes: (elems * std::mem::size_of::<T>()) as u64,
+        }
+    }
+
+    /// A virtual payload of raw bytes (timing mode).
+    pub fn virtual_bytes(bytes: u64) -> Payload {
+        Payload {
+            data: None,
+            elems: bytes as usize,
+            logical_bytes: bytes,
+        }
+    }
+
+    /// Logical byte size.
+    #[inline]
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Logical element count.
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.elems
+    }
+
+    /// True when the payload carries no real data.
+    #[inline]
+    pub fn is_virtual(&self) -> bool {
+        self.data.is_none()
+    }
+
+    /// Extract the data as `Vec<T>`; empty for virtual payloads. Panics on a
+    /// datatype mismatch, mirroring MPI's fatal type errors.
+    pub fn into_vec<T: 'static>(self) -> Vec<T> {
+        match self.data {
+            None => Vec::new(),
+            Some(boxed) => match boxed.downcast::<Vec<T>>() {
+                Ok(v) => *v,
+                Err(_) => panic!(
+                    "mpisim: datatype mismatch on receive (expected Vec<{}>)",
+                    std::any::type_name::<T>()
+                ),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Payload")
+            .field("elems", &self.elems)
+            .field("logical_bytes", &self.logical_bytes)
+            .field("virtual", &self.is_virtual())
+            .finish()
+    }
+}
+
+/// A message in flight: payload plus matching and timing metadata.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Communicator the message travels on.
+    pub comm: CommId,
+    /// Sender's rank, local to that communicator.
+    pub src_local: usize,
+    /// Sender's world rank (for node-placement pricing).
+    pub src_world: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Virtual time at which the sender finished injecting the message.
+    pub send_end: VTime,
+    /// Monotone per-world sequence number (preserves per-sender ordering).
+    pub seq: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Does this envelope match the given receive selectors?
+    #[inline]
+    pub fn matches(&self, comm: CommId, src: Src, tag: TagSel) -> bool {
+        if self.comm != comm {
+            return false;
+        }
+        let src_ok = match src {
+            Src::Any => true,
+            Src::Rank(r) => self.src_local == r,
+        };
+        let tag_ok = match tag {
+            TagSel::Any => true,
+            TagSel::Is(t) => self.tag == t,
+        };
+        src_ok && tag_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope(src: usize, tag: i32) -> Envelope {
+        Envelope {
+            comm: CommId::WORLD,
+            src_local: src,
+            src_world: src,
+            tag,
+            send_end: VTime::ZERO,
+            seq: 0,
+            payload: Payload::real(&[1u32, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn real_payload_roundtrip() {
+        let p = Payload::real(&[1.0f64, 2.0, 3.0]);
+        assert_eq!(p.elems(), 3);
+        assert_eq!(p.logical_bytes(), 24);
+        assert!(!p.is_virtual());
+        assert_eq!(p.into_vec::<f64>(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_vec_no_copy() {
+        let p = Payload::from_vec(vec![7u8; 10]);
+        assert_eq!(p.logical_bytes(), 10);
+        assert_eq!(p.into_vec::<u8>(), vec![7u8; 10]);
+    }
+
+    #[test]
+    fn virtual_payload() {
+        let p = Payload::virtual_elems::<f64>(1000);
+        assert!(p.is_virtual());
+        assert_eq!(p.elems(), 1000);
+        assert_eq!(p.logical_bytes(), 8000);
+        assert!(p.into_vec::<f64>().is_empty());
+        let p = Payload::virtual_bytes(4096);
+        assert_eq!(p.logical_bytes(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "datatype mismatch")]
+    fn type_mismatch_panics() {
+        let p = Payload::real(&[1u32]);
+        let _ = p.into_vec::<f64>();
+    }
+
+    #[test]
+    fn matching() {
+        let e = envelope(2, 9);
+        assert!(e.matches(CommId::WORLD, Src::Rank(2), TagSel::Is(9)));
+        assert!(e.matches(CommId::WORLD, Src::Any, TagSel::Is(9)));
+        assert!(e.matches(CommId::WORLD, Src::Rank(2), TagSel::Any));
+        assert!(!e.matches(CommId::WORLD, Src::Rank(1), TagSel::Is(9)));
+        assert!(!e.matches(CommId::WORLD, Src::Rank(2), TagSel::Is(8)));
+        assert!(!e.matches(CommId(5), Src::Any, TagSel::Any));
+    }
+}

@@ -1,0 +1,220 @@
+//! The per-rank execution context.
+//!
+//! A [`Proc`] is handed to the SPMD function of every rank. It owns the
+//! rank's virtual clock, its deterministic noise streams, and the handles
+//! into the shared world (mailboxes, communicator registry, tools). All
+//! simulated cost flows through this type: computation via [`Proc::compute`],
+//! communication via the operations on [`crate::Comm`].
+
+use crate::comm::{Comm, CommShared, Registry};
+use crate::event::{CommId, MpiCall, MpiEvent};
+use crate::mailbox::MailboxSet;
+use crate::tool::ToolSet;
+use machine::{DetRng, MachineModel, VTime, Work};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Distinguishes the purpose of each deterministic random stream so the
+/// consumption order in one stream never depends on another.
+pub(crate) mod streams {
+    pub const COMPUTE: u64 = 0;
+    pub const NETWORK: u64 = 1;
+    pub const APP: u64 = 2;
+}
+
+/// Per-rank execution context (the simulated "MPI process").
+pub struct Proc {
+    pub(crate) world_rank: usize,
+    pub(crate) nranks: usize,
+    pub(crate) now: VTime,
+    pub(crate) machine: Arc<MachineModel>,
+    pub(crate) compute_rng: DetRng,
+    pub(crate) net_rng: DetRng,
+    pub(crate) app_rng: DetRng,
+    pub(crate) tools: ToolSet,
+    pub(crate) mailboxes: Arc<MailboxSet>,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) seq: Arc<AtomicU64>,
+    pub(crate) seed: u64,
+    pub(crate) ranks_on_my_node: usize,
+    pub(crate) world_shared: Arc<CommShared>,
+}
+
+impl Proc {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        world_rank: usize,
+        nranks: usize,
+        machine: Arc<MachineModel>,
+        tools: ToolSet,
+        mailboxes: Arc<MailboxSet>,
+        registry: Arc<Registry>,
+        seq: Arc<AtomicU64>,
+        seed: u64,
+        world_shared: Arc<CommShared>,
+    ) -> Self {
+        let topo = machine.topology;
+        let node = topo.node_of(world_rank);
+        let ranks_on_my_node = (0..nranks).filter(|&r| topo.node_of(r) == node).count();
+        Proc {
+            world_rank,
+            nranks,
+            now: VTime::ZERO,
+            compute_rng: DetRng::for_stream(seed, world_rank as u64, streams::COMPUTE),
+            net_rng: DetRng::for_stream(seed, world_rank as u64, streams::NETWORK),
+            app_rng: DetRng::for_stream(seed, world_rank as u64, streams::APP),
+            machine,
+            tools,
+            mailboxes,
+            registry,
+            seq,
+            seed,
+            ranks_on_my_node,
+            world_shared,
+        }
+    }
+
+    /// This rank's index in the world communicator.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.nranks
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm {
+        Comm::from_shared(self.world_shared.clone(), self.world_rank)
+    }
+
+    /// Current virtual time on this rank.
+    #[inline]
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// The machine model the world runs on.
+    #[inline]
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// The world's base random seed (tools and apps derive their own
+    /// streams from it).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of world ranks placed on this rank's node.
+    #[inline]
+    pub fn ranks_on_node(&self) -> usize {
+        self.ranks_on_my_node
+    }
+
+    /// Advance the local clock by an exact amount (no noise).
+    #[inline]
+    pub fn advance(&mut self, dt: VTime) {
+        self.now += dt;
+    }
+
+    /// Advance the local clock by fractional seconds (no noise).
+    #[inline]
+    pub fn advance_secs(&mut self, secs: f64) {
+        self.now += VTime::from_secs_f64(secs);
+    }
+
+    /// Charge a chunk of computation to this rank: the machine model prices
+    /// it (with memory contention from the other ranks on this node) and
+    /// the noise model jitters it. This is the single-threaded path; hybrid
+    /// codes price their threaded regions through the `shmem` crate.
+    pub fn compute(&mut self, work: Work) {
+        let secs = self.machine.thread_seconds_for(work, self.ranks_on_my_node);
+        let factor = self.machine.noise.compute_factor(&mut self.compute_rng);
+        self.now += VTime::from_secs_f64(secs * factor);
+    }
+
+    /// Like [`Proc::compute`] but without jitter (calibration paths).
+    pub fn compute_noiseless(&mut self, work: Work) {
+        let secs = self.machine.thread_seconds_for(work, self.ranks_on_my_node);
+        self.now += VTime::from_secs_f64(secs);
+    }
+
+    /// Price `work` under an explicit contention level without advancing
+    /// the clock (building block for the shared-memory layer).
+    pub fn price_contended(&self, work: Work, active_threads: usize) -> f64 {
+        self.machine.thread_seconds_for(work, active_threads)
+    }
+
+    /// Draw one compute-jitter factor (median 1) from this rank's stream.
+    pub fn jitter_factor(&mut self) -> f64 {
+        self.machine.noise.compute_factor(&mut self.compute_rng)
+    }
+
+    /// Application-level deterministic random stream (never consumed by the
+    /// runtime itself).
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.app_rng
+    }
+
+    /// Raise a PMPI-level event to all registered tools.
+    #[inline]
+    pub fn raise(&self, event: MpiEvent) {
+        if !self.tools.is_empty() {
+            self.tools.raise(self.world_rank, &event);
+        }
+    }
+
+    /// `MPI_Pcontrol(level)`: a pure tool notification with tool-defined
+    /// semantics (§6 related work: how IPM outlines phases). Costs nothing
+    /// and does nothing unless a tool interprets it.
+    pub fn pcontrol(&self, level: i32) {
+        self.raise(MpiEvent::Pcontrol {
+            level,
+            time: self.now,
+        });
+    }
+
+    #[inline]
+    pub(crate) fn tool_call_enter(&self, call: MpiCall, comm: CommId) {
+        if !self.tools.is_empty() {
+            self.tools.raise(
+                self.world_rank,
+                &MpiEvent::CallEnter {
+                    call,
+                    comm,
+                    time: self.now,
+                },
+            );
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tool_call_exit(&self, call: MpiCall, comm: CommId, bytes: u64) {
+        if !self.tools.is_empty() {
+            self.tools.raise(
+                self.world_rank,
+                &MpiEvent::CallExit {
+                    call,
+                    comm,
+                    time: self.now,
+                    bytes,
+                },
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("world_rank", &self.world_rank)
+            .field("nranks", &self.nranks)
+            .field("now", &self.now)
+            .finish()
+    }
+}

@@ -1,0 +1,110 @@
+//! The tool (PMPI interposition) interface.
+//!
+//! A [`Tool`] observes every [`MpiEvent`] raised by every rank. Tools are
+//! registered on the world before launch and shared across rank threads, so
+//! implementations must be `Send + Sync` and are expected to keep per-rank
+//! state sharded (e.g. a `Mutex<Vec<_>>` indexed by rank) to stay
+//! non-intrusive — exactly the constraint a real PMPI tool faces.
+
+use crate::event::MpiEvent;
+use std::sync::Arc;
+
+/// A performance/debugging tool observing runtime events.
+pub trait Tool: Send + Sync {
+    /// Called synchronously on the acting rank's thread for every event.
+    fn on_event(&self, world_rank: usize, event: &MpiEvent);
+
+    /// Called once after the run completes (all ranks joined), with the
+    /// number of ranks. Default: no-op.
+    fn on_run_complete(&self, _nranks: usize) {}
+}
+
+/// The ordered set of tools attached to a world.
+#[derive(Clone, Default)]
+pub struct ToolSet {
+    tools: Arc<Vec<Arc<dyn Tool>>>,
+}
+
+impl ToolSet {
+    /// An empty tool set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a list of tools.
+    pub fn from_tools(tools: Vec<Arc<dyn Tool>>) -> Self {
+        ToolSet {
+            tools: Arc::new(tools),
+        }
+    }
+
+    /// True when no tool is registered (event raising short-circuits).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tools.is_empty()
+    }
+
+    /// Deliver an event to every tool, in registration order.
+    #[inline]
+    pub fn raise(&self, world_rank: usize, event: &MpiEvent) {
+        for tool in self.tools.iter() {
+            tool.on_event(world_rank, event);
+        }
+    }
+
+    /// Deliver the end-of-run notification.
+    pub fn complete(&self, nranks: usize) {
+        for tool in self.tools.iter() {
+            tool.on_run_complete(nranks);
+        }
+    }
+}
+
+impl std::fmt::Debug for ToolSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ToolSet({} tools)", self.tools.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::VTime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter(AtomicUsize);
+    impl Tool for Counter {
+        fn on_event(&self, _rank: usize, _event: &MpiEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn raise_reaches_all_tools() {
+        let a = Arc::new(Counter(AtomicUsize::new(0)));
+        let b = Arc::new(Counter(AtomicUsize::new(0)));
+        let set = ToolSet::from_tools(vec![a.clone(), b.clone()]);
+        assert!(!set.is_empty());
+        let ev = MpiEvent::Init {
+            size: 1,
+            time: VTime::ZERO,
+        };
+        set.raise(0, &ev);
+        set.raise(0, &ev);
+        assert_eq!(a.0.load(Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = ToolSet::new();
+        assert!(set.is_empty());
+        set.raise(
+            0,
+            &MpiEvent::Finalize {
+                time: VTime::ZERO,
+            },
+        );
+        set.complete(4);
+    }
+}

@@ -1,0 +1,191 @@
+//! World construction and the SPMD launch harness.
+//!
+//! [`WorldBuilder`] configures rank count, machine model, seed and tools,
+//! then [`WorldBuilder::run`] spawns one OS thread per rank, hands each a
+//! [`Proc`], and executes the SPMD closure. Rank panics poison the world so
+//! blocked peers unwind instead of deadlocking, and the first failure is
+//! reported as a [`RunError`].
+
+use crate::comm::{CommShared, Registry};
+use crate::error::{RunError, POISONED_MSG};
+use crate::event::MpiEvent;
+use crate::mailbox::{MailboxSet, Poison};
+use crate::proc::Proc;
+use crate::tool::{Tool, ToolSet};
+use machine::{presets, MachineModel, VTime};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Configuration and launch entry point for a simulated MPI world.
+pub struct WorldBuilder {
+    nranks: usize,
+    machine: MachineModel,
+    seed: u64,
+    tools: Vec<Arc<dyn Tool>>,
+}
+
+impl WorldBuilder {
+    /// A world of `nranks` ranks on the `ideal()` machine with seed 0.
+    pub fn new(nranks: usize) -> Self {
+        WorldBuilder {
+            nranks,
+            machine: presets::ideal(),
+            seed: 0,
+            tools: Vec::new(),
+        }
+    }
+
+    /// Select the machine model.
+    pub fn machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Select the noise/placement seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach a tool (PMPI-style observer). Tools fire in attach order.
+    pub fn tool(mut self, tool: Arc<dyn Tool>) -> Self {
+        self.tools.push(tool);
+        self
+    }
+
+    /// Launch the world: run `f` as the SPMD program of every rank.
+    ///
+    /// Returns per-rank results and final virtual clocks. The rank function
+    /// runs between implicit `Init`/`Finalize` tool events (which is where
+    /// the paper's `MPI_MAIN` section opens and closes).
+    pub fn run<R, F>(self, f: F) -> Result<RunReport<R>, RunError>
+    where
+        R: Send,
+        F: Fn(&mut Proc) -> R + Send + Sync,
+    {
+        if self.nranks == 0 {
+            return Err(RunError::NoRanks);
+        }
+        let nranks = self.nranks;
+        let machine = Arc::new(self.machine);
+        let poison = Arc::new(Poison::default());
+        let mailboxes = Arc::new(MailboxSet::new(nranks, poison.clone()));
+        let registry = Arc::new(Registry::new(machine.topology));
+        let world_shared: Arc<CommShared> = registry.register((0..nranks).collect());
+        let tools = ToolSet::from_tools(self.tools);
+        let seq = Arc::new(AtomicU64::new(0));
+        let seed = self.seed;
+
+        let outcomes: Vec<Result<(R, VTime), String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nranks)
+                .map(|rank| {
+                    let machine = machine.clone();
+                    let mailboxes = mailboxes.clone();
+                    let registry = registry.clone();
+                    let world_shared = world_shared.clone();
+                    let tools = tools.clone();
+                    let seq = seq.clone();
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut proc = Proc::new(
+                            rank,
+                            nranks,
+                            machine,
+                            tools,
+                            mailboxes.clone(),
+                            registry.clone(),
+                            seq,
+                            seed,
+                            world_shared,
+                        );
+                        proc.raise(MpiEvent::Init {
+                            size: nranks,
+                            time: proc.now(),
+                        });
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&mut proc),
+                        ));
+                        match result {
+                            Ok(value) => {
+                                proc.raise(MpiEvent::Finalize { time: proc.now() });
+                                Ok((value, proc.now()))
+                            }
+                            Err(payload) => {
+                                // Poison before extracting the message so
+                                // blocked peers wake promptly.
+                                mailboxes.poison_all();
+                                registry.wake_all();
+                                Err(panic_message(payload))
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mpisim: rank thread itself crashed"))
+                .collect()
+        });
+
+        let mut results = Vec::with_capacity(nranks);
+        let mut final_times = Vec::with_capacity(nranks);
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok((value, time)) => {
+                    results.push(value);
+                    final_times.push(time);
+                }
+                Err(message) => failures.push((rank, message)),
+            }
+        }
+        if !failures.is_empty() {
+            // Report the root cause, not the poison-induced unwinds of the
+            // peers that were blocked when the world went down.
+            let (rank, message) = failures
+                .iter()
+                .find(|(_, m)| m != POISONED_MSG)
+                .cloned()
+                .unwrap_or_else(|| {
+                    let (rank, _) = failures[0].clone();
+                    (rank, "poisoned (root cause lost)".into())
+                });
+            return Err(RunError::RankPanicked { rank, message });
+        }
+        tools.complete(nranks);
+        let makespan = final_times.iter().copied().max().unwrap_or(VTime::ZERO);
+        Ok(RunReport {
+            results,
+            final_times,
+            makespan,
+        })
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Outcome of a successful run.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank return values, indexed by world rank.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks.
+    pub final_times: Vec<VTime>,
+    /// The latest final clock — the simulated wall time of the job.
+    pub makespan: VTime,
+}
+
+impl<R> RunReport<R> {
+    /// Simulated wall time in seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        self.makespan.as_secs_f64()
+    }
+}

@@ -1,0 +1,321 @@
+//! Dynamic parallelism restriction — the paper's §8 closing idea: "we
+//! would like to explore the possibility of dynamically restraining
+//! parallelism for non-scalable sections — investigating potential
+//! improvements for the overall computation."
+//!
+//! [`AdaptiveTeam`] manages one thread-count decision per region label.
+//! For each label it first *probes* a geometric ladder of candidate
+//! thread counts (1, 2, 4, …, max), measuring each candidate over a fixed
+//! number of invocations, then *commits* to the fastest. A region beyond
+//! its inflexion point therefore converges onto the inflexion-point thread
+//! count instead of wasting the full team — turning the paper's
+//! "configurations beyond the inflexion point should never be ran" from a
+//! post-mortem observation into a runtime policy.
+
+use crate::schedule::Schedule;
+use crate::team::Team;
+use machine::Work;
+use mpisim::Proc;
+use std::collections::HashMap;
+
+/// How many invocations each candidate thread count is measured for
+/// before moving on (averages out per-thread jitter).
+const PROBES_PER_CANDIDATE: usize = 3;
+
+#[derive(Debug, Clone)]
+struct AdaptState {
+    /// The candidate ladder, ascending.
+    candidates: Vec<usize>,
+    /// Index of the candidate currently being probed.
+    probing: usize,
+    /// Invocations of the current candidate so far.
+    probe_calls: usize,
+    /// Accumulated seconds of the current candidate.
+    probe_secs: f64,
+    /// Best (threads, mean seconds) seen so far.
+    best: Option<(usize, f64)>,
+    /// Committed thread count once probing finished.
+    committed: Option<usize>,
+}
+
+impl AdaptState {
+    fn new(max_threads: usize) -> AdaptState {
+        let mut candidates = Vec::new();
+        let mut t = 1;
+        while t < max_threads {
+            candidates.push(t);
+            t *= 2;
+        }
+        candidates.push(max_threads);
+        candidates.dedup();
+        AdaptState {
+            candidates,
+            probing: 0,
+            probe_calls: 0,
+            probe_secs: 0.0,
+            best: None,
+            committed: None,
+        }
+    }
+
+    fn current_threads(&self) -> usize {
+        self.committed
+            .unwrap_or_else(|| self.candidates[self.probing])
+    }
+
+    fn record(&mut self, secs: f64) {
+        if self.committed.is_some() {
+            return;
+        }
+        self.probe_calls += 1;
+        self.probe_secs += secs;
+        if self.probe_calls >= PROBES_PER_CANDIDATE {
+            let mean = self.probe_secs / self.probe_calls as f64;
+            let threads = self.candidates[self.probing];
+            let improved = match self.best {
+                None => true,
+                Some((_, best_mean)) => mean < best_mean,
+            };
+            if improved {
+                self.best = Some((threads, mean));
+            }
+            self.probe_calls = 0;
+            self.probe_secs = 0.0;
+            self.probing += 1;
+            if self.probing >= self.candidates.len() {
+                // Ladder exhausted: commit to the winner.
+                self.committed = Some(self.best.expect("probed at least once").0);
+            } else if !improved && self.probing >= 2 {
+                // The curve turned upward: we passed the inflexion point;
+                // stop climbing (unimodal assumption, as in Fig. 10).
+                self.committed = Some(self.best.expect("probed at least once").0);
+            }
+        }
+    }
+}
+
+/// A per-label adaptive thread-count controller.
+#[derive(Debug)]
+pub struct AdaptiveTeam {
+    max_threads: usize,
+    schedule: Schedule,
+    state: HashMap<String, AdaptState>,
+}
+
+impl AdaptiveTeam {
+    /// A controller allowed to use up to `max_threads` threads.
+    pub fn new(max_threads: usize) -> AdaptiveTeam {
+        AdaptiveTeam {
+            max_threads: max_threads.max(1),
+            schedule: Schedule::Static,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Override the schedule used by adapted regions.
+    pub fn with_schedule(mut self, schedule: Schedule) -> AdaptiveTeam {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The thread count the controller would use for `label` right now.
+    pub fn threads_for(&self, label: &str) -> usize {
+        self.state
+            .get(label)
+            .map(|s| s.current_threads())
+            .unwrap_or(1)
+    }
+
+    /// Has the controller committed a final decision for `label`?
+    pub fn decided(&self, label: &str) -> Option<usize> {
+        self.state.get(label).and_then(|s| s.committed)
+    }
+
+    /// Run a timing-only uniform region under the adaptive policy;
+    /// returns the region seconds charged.
+    pub fn for_cost_uniform(
+        &mut self,
+        p: &mut Proc,
+        label: &str,
+        n: usize,
+        per_item: Work,
+    ) -> f64 {
+        let max = self.max_threads;
+        let state = self
+            .state
+            .entry(label.to_string())
+            .or_insert_with(|| AdaptState::new(max));
+        let team = Team::new(state.current_threads()).with_schedule(self.schedule);
+        let secs = team.for_cost_uniform(p, n, per_item);
+        state.record(secs);
+        secs
+    }
+
+    /// Run a full-fidelity uniform region under the adaptive policy.
+    pub fn parallel_for_uniform<F>(
+        &mut self,
+        p: &mut Proc,
+        label: &str,
+        n: usize,
+        per_item: Work,
+        body: F,
+    ) -> f64
+    where
+        F: FnMut(usize),
+    {
+        let max = self.max_threads;
+        let state = self
+            .state
+            .entry(label.to_string())
+            .or_insert_with(|| AdaptState::new(max));
+        let team = Team::new(state.current_threads()).with_schedule(self.schedule);
+        let secs = team.parallel_for_uniform(p, n, per_item, body);
+        state.record(secs);
+        secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::{presets, OmpModel};
+    use mpisim::WorldBuilder;
+
+    /// A machine where the optimum for 0.576 s of work is 24 threads
+    /// (W/t + 1e-3·t minimized at sqrt(0.576/1e-3) = 24).
+    fn inflexion_machine() -> machine::MachineModel {
+        let mut m = presets::ideal();
+        m.cores_per_node = 1024;
+        m.omp = OmpModel {
+            fork_per_thread: 1e-3,
+            ..OmpModel::FREE
+        };
+        m
+    }
+
+    #[test]
+    fn converges_near_the_inflexion_point() {
+        let report = WorldBuilder::new(1)
+            .machine(inflexion_machine())
+            .run(|p| {
+                let mut adaptive = AdaptiveTeam::new(256);
+                for _ in 0..200 {
+                    adaptive.for_cost_uniform(p, "kernel", 576, Work::flops(1e6));
+                }
+                adaptive.decided("kernel")
+            })
+            .unwrap();
+        let decided = report.results[0].expect("decision reached");
+        // The ladder contains 16 and 32; the true optimum is 24, whose
+        // neighbours cost within ~4%: either ladder value is acceptable,
+        // anything far off is not.
+        assert!(
+            decided == 16 || decided == 32,
+            "decided {decided}, expected near 24"
+        );
+    }
+
+    #[test]
+    fn scalable_region_commits_to_max() {
+        // No overheads: more threads always win; must commit to max.
+        let report = WorldBuilder::new(1)
+            .machine(presets::ideal())
+            .run(|p| {
+                let mut adaptive = AdaptiveTeam::new(64);
+                for _ in 0..200 {
+                    adaptive.for_cost_uniform(p, "kernel", 4096, Work::flops(1e6));
+                }
+                adaptive.decided("kernel")
+            })
+            .unwrap();
+        assert_eq!(report.results[0], Some(64));
+    }
+
+    #[test]
+    fn serial_dominated_region_stays_small() {
+        // Overhead-only "region": 1 thread is optimal.
+        let mut m = presets::ideal();
+        m.omp = OmpModel {
+            fork_base: 1e-4,
+            fork_per_thread: 1e-3,
+            ..OmpModel::FREE
+        };
+        let report = WorldBuilder::new(1)
+            .machine(m)
+            .run(|p| {
+                let mut adaptive = AdaptiveTeam::new(64);
+                for _ in 0..200 {
+                    adaptive.for_cost_uniform(p, "tiny", 4, Work::flops(10.0));
+                }
+                adaptive.decided("tiny")
+            })
+            .unwrap();
+        assert_eq!(report.results[0], Some(1));
+    }
+
+    #[test]
+    fn labels_adapt_independently() {
+        let report = WorldBuilder::new(1)
+            .machine(inflexion_machine())
+            .run(|p| {
+                let mut adaptive = AdaptiveTeam::new(256);
+                for _ in 0..200 {
+                    adaptive.for_cost_uniform(p, "big", 40_000, Work::flops(1e6));
+                    adaptive.for_cost_uniform(p, "small", 64, Work::flops(1e6));
+                }
+                (adaptive.decided("big"), adaptive.decided("small"))
+            })
+            .unwrap();
+        let (big, small) = report.results[0];
+        assert!(big.unwrap() > small.unwrap(), "{big:?} vs {small:?}");
+    }
+
+    #[test]
+    fn adaptive_beats_oversized_fixed_team() {
+        // Total virtual time with adaptation must beat always-max once the
+        // region is past its inflexion at max threads.
+        let time_with = |adaptive: bool| -> f64 {
+            WorldBuilder::new(1)
+                .machine(inflexion_machine())
+                .run(move |p| {
+                    if adaptive {
+                        let mut team = AdaptiveTeam::new(256);
+                        for _ in 0..300 {
+                            team.for_cost_uniform(p, "k", 576, Work::flops(1e6));
+                        }
+                    } else {
+                        let team = Team::new(256);
+                        for _ in 0..300 {
+                            team.for_cost_uniform(p, 576, Work::flops(1e6));
+                        }
+                    }
+                    p.now().as_secs_f64()
+                })
+                .unwrap()
+                .results[0]
+        };
+        let fixed = time_with(false);
+        let adapted = time_with(true);
+        assert!(
+            adapted < fixed * 0.6,
+            "adaptive {adapted} should clearly beat fixed-256 {fixed}"
+        );
+    }
+
+    #[test]
+    fn body_still_runs_every_index() {
+        let report = WorldBuilder::new(1)
+            .run(|p| {
+                let mut adaptive = AdaptiveTeam::new(8);
+                let mut seen = vec![0u8; 50];
+                for _ in 0..5 {
+                    adaptive.parallel_for_uniform(p, "k", 50, Work::flops(1.0), |i| {
+                        seen[i] += 1
+                    });
+                }
+                seen
+            })
+            .unwrap();
+        assert!(report.results[0].iter().all(|&c| c == 5));
+    }
+}

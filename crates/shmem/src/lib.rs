@@ -1,0 +1,67 @@
+//! # shmem — an OpenMP-like fork-join model on virtual time
+//!
+//! The paper's second experiment (LULESH, §5.2) measures *OpenMP* scaling
+//! purely from MPI-level sections. To reproduce it we need a shared-memory
+//! runtime whose parallel regions cost what OpenMP regions cost: a fork
+//! overhead growing with the thread count, per-thread chunks of the loop
+//! body, scheduling bookkeeping, per-thread jitter (the slowest thread sets
+//! the region time), and a closing barrier.
+//!
+//! A [`Team`] prices a region as
+//!
+//! ```text
+//! region = fork(t) + max_i(load_i * jitter_i) + sched(t) + barrier(t)
+//! ```
+//!
+//! where the per-thread loads follow the selected [`Schedule`]. Loop bodies
+//! execute *sequentially* on the simulated rank's thread (correctness is
+//! preserved; wall-clock is virtual), or not at all when only timing is
+//! requested — mirroring the two fidelity modes of the message runtime.
+//!
+//! The sum `work/t + overhead(t)` is what produces the paper's *inflexion
+//! point* (Fig. 10): past some thread count, adding threads makes the
+//! region slower, and that point bounds the program's speedup (Eq. 6).
+
+pub mod adaptive;
+pub mod schedule;
+pub mod team;
+
+pub use adaptive::AdaptiveTeam;
+pub use schedule::Schedule;
+pub use team::Team;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::{presets, OmpModel, VTime, Work};
+    use mpisim::WorldBuilder;
+
+    #[test]
+    fn inflexion_point_emerges_from_the_model() {
+        // With work W = 0.576 s and fork_per_thread = 1 ms, the analytic
+        // optimum of W/t + a*t is t* = sqrt(W/a) = 24 — the KNL shape of
+        // Fig. 10.
+        let mut m = presets::ideal();
+        m.cores_per_node = 1024; // plenty of cores: overhead-limited only
+        m.omp = OmpModel {
+            fork_per_thread: 1e-3,
+            ..OmpModel::FREE
+        };
+        let time_at = |threads: usize| -> VTime {
+            WorldBuilder::new(1)
+                .machine(m.clone())
+                .run(|p| {
+                    let team = Team::new(threads);
+                    team.for_cost_uniform(p, 576, Work::flops(1e6)); // 0.576 s
+                    p.now()
+                })
+                .unwrap()
+                .results[0]
+        };
+        let t8 = time_at(8);
+        let t24 = time_at(24);
+        let t96 = time_at(96);
+        assert!(t24 < t8, "24 threads beat 8 ({t24} vs {t8})");
+        assert!(t24 < t96, "24 threads beat 96 ({t24} vs {t96})");
+    }
+}

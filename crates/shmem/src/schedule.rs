@@ -1,0 +1,115 @@
+//! Loop schedules: how iterations map onto threads.
+//!
+//! The load vector a schedule produces (seconds of work per thread) is the
+//! input to the region pricing in [`crate::team`]. `Static` splits
+//! contiguously; `Dynamic`/`Guided` balance loads at the cost of scheduler
+//! bookkeeping priced by `OmpModel::dynamic_secs`.
+
+/// An OpenMP-style loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Schedule {
+    /// Contiguous blocks of ~n/t iterations (OpenMP `schedule(static)`).
+    #[default]
+    Static,
+    /// Round-robin blocks of the given chunk size
+    /// (`schedule(static, chunk)`).
+    StaticChunk(usize),
+    /// First-come-first-served chunks (`schedule(dynamic, chunk)`):
+    /// near-perfect balance plus per-chunk bookkeeping and a one-chunk tail.
+    Dynamic(usize),
+    /// Geometrically shrinking chunks (`schedule(guided)`): balance close
+    /// to dynamic with roughly `4·t` chunks of bookkeeping.
+    Guided,
+}
+
+
+impl Schedule {
+    /// The contiguous range of iterations thread `tid` executes under a
+    /// static schedule (used both for pricing and for `Static` execution
+    /// order). Returns `start..end` indices into `0..n`.
+    pub fn static_range(n: usize, threads: usize, tid: usize) -> (usize, usize) {
+        let t = threads.max(1);
+        let base = n / t;
+        let extra = n % t;
+        // The first `extra` threads get one extra iteration.
+        let start = tid * base + tid.min(extra);
+        let len = base + usize::from(tid < extra);
+        (start, start + len)
+    }
+
+    /// Number of scheduler chunks this schedule hands out for `n`
+    /// iterations on `threads` threads (for bookkeeping pricing).
+    pub fn chunk_count(&self, n: usize, threads: usize) -> usize {
+        let t = threads.max(1);
+        match self {
+            Schedule::Static => t.min(n.max(1)),
+            Schedule::StaticChunk(c) => n.div_ceil((*c).max(1)),
+            Schedule::Dynamic(c) => n.div_ceil((*c).max(1)),
+            Schedule::Guided => (4 * t).min(n.max(1)),
+        }
+    }
+
+    /// True for schedules whose chunks are handed out at run time.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, Schedule::Dynamic(_) | Schedule::Guided)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_ranges_partition_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for t in [1usize, 2, 3, 8, 17] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for tid in 0..t {
+                    let (s, e) = Schedule::static_range(n, t, tid);
+                    assert_eq!(s, prev_end, "contiguous");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, n, "n={n} t={t}");
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn static_ranges_are_balanced() {
+        let t = 7;
+        let n = 100;
+        let sizes: Vec<usize> = (0..t)
+            .map(|tid| {
+                let (s, e) = Schedule::static_range(n, t, tid);
+                e - s
+            })
+            .collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn chunk_counts() {
+        assert_eq!(Schedule::Static.chunk_count(100, 4), 4);
+        assert_eq!(Schedule::StaticChunk(10).chunk_count(100, 4), 10);
+        assert_eq!(Schedule::StaticChunk(7).chunk_count(100, 4), 15);
+        assert_eq!(Schedule::Dynamic(1).chunk_count(100, 4), 100);
+        assert_eq!(Schedule::Guided.chunk_count(100, 4), 16);
+        // Never more chunks than iterations for block schedules.
+        assert_eq!(Schedule::Static.chunk_count(2, 8), 2);
+    }
+
+    #[test]
+    fn dynamic_classification() {
+        assert!(Schedule::Dynamic(4).is_dynamic());
+        assert!(Schedule::Guided.is_dynamic());
+        assert!(!Schedule::Static.is_dynamic());
+        assert!(!Schedule::StaticChunk(4).is_dynamic());
+    }
+}

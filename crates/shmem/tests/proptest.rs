@@ -1,0 +1,143 @@
+//! Property tests for the shared-memory model: schedules partition
+//! iteration spaces exactly, bodies execute exactly once per index, and
+//! region pricing respects basic monotonicities.
+
+use machine::{presets, OmpModel, Work};
+use mpisim::WorldBuilder;
+use proptest::prelude::*;
+use shmem::{Schedule, Team};
+
+proptest! {
+    #[test]
+    fn static_ranges_partition(n in 0usize..10_000, threads in 1usize..128) {
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for tid in 0..threads {
+            let (s, e) = Schedule::static_range(n, threads, tid);
+            prop_assert_eq!(s, prev_end);
+            prop_assert!(e >= s);
+            // Balanced to within one iteration.
+            prop_assert!(e - s <= n / threads + 1);
+            covered += e - s;
+            prev_end = e;
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn chunk_counts_bounded(n in 1usize..100_000, threads in 1usize..256, chunk in 1usize..512) {
+        for sched in [
+            Schedule::Static,
+            Schedule::StaticChunk(chunk),
+            Schedule::Dynamic(chunk),
+            Schedule::Guided,
+        ] {
+            let c = sched.chunk_count(n, threads);
+            prop_assert!(c >= 1);
+            prop_assert!(c <= n, "never more chunks than iterations ({sched:?})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_index_visited_once(
+        n in 0usize..2_000,
+        threads in 1usize..64,
+        schedule in prop_oneof![
+            Just(Schedule::Static),
+            (1usize..64).prop_map(Schedule::StaticChunk),
+            (1usize..64).prop_map(Schedule::Dynamic),
+            Just(Schedule::Guided),
+        ],
+    ) {
+        let report = WorldBuilder::new(1)
+            .run(move |p| {
+                let mut seen = vec![0u8; n];
+                Team::new(threads)
+                    .with_schedule(schedule)
+                    .parallel_for_weighted(p, n, |_| Work::flops(1.0), |i| seen[i] += 1);
+                seen
+            })
+            .unwrap();
+        prop_assert!(report.results[0].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn pricing_monotone_in_work(
+        n in 1usize..10_000,
+        threads in 1usize..64,
+        flops in 1.0f64..1e9,
+    ) {
+        let report = WorldBuilder::new(1)
+            .run(move |p| {
+                let team = Team::new(threads);
+                let small = team.for_cost_uniform(p, n, Work::flops(flops));
+                let large = team.for_cost_uniform(p, n, Work::flops(flops * 2.0));
+                (small, large)
+            })
+            .unwrap();
+        let (small, large) = report.results[0];
+        prop_assert!(large >= small);
+        prop_assert!(small >= 0.0);
+    }
+
+    #[test]
+    fn ideal_machine_region_cost_is_exact(
+        n in 1usize..10_000,
+        threads in 1usize..64,
+    ) {
+        // On the ideal machine (1 Gflop/s, free runtime) a uniform loop of
+        // k flops per item costs exactly max_chunk * k / 1e9 seconds.
+        let report = WorldBuilder::new(1)
+            .run(move |p| {
+                Team::new(threads).for_cost_uniform(p, n, Work::flops(1000.0))
+            })
+            .unwrap();
+        let max_chunk = n.div_ceil(threads);
+        let expect = max_chunk as f64 * 1000.0 / 1e9;
+        prop_assert!((report.results[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overheads_grow_with_threads(t_small in 1usize..32, extra in 1usize..32) {
+        let mut m = presets::ideal();
+        m.omp = OmpModel {
+            fork_base: 1e-6,
+            fork_per_thread: 1e-6,
+            barrier_base: 1e-6,
+            barrier_per_round: 1e-6,
+            dynamic_per_chunk: 0.0,
+        };
+        // Empty loop: pure overhead. More threads can only cost more.
+        let report = WorldBuilder::new(1)
+            .machine(m)
+            .run(move |p| {
+                let a = Team::new(t_small).for_cost_uniform(p, 0, Work::ZERO);
+                let b = Team::new(t_small + extra).for_cost_uniform(p, 0, Work::ZERO);
+                (a, b)
+            })
+            .unwrap();
+        let (a, b) = report.results[0];
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn reduction_matches_sequential_fold(n in 0usize..5_000, threads in 1usize..64) {
+        let report = WorldBuilder::new(1)
+            .run(move |p| {
+                Team::new(threads).parallel_reduce_uniform(
+                    p,
+                    n,
+                    Work::flops(1.0),
+                    0u64,
+                    |acc, i| acc + (i as u64) * (i as u64),
+                )
+            })
+            .unwrap();
+        let expect: u64 = (0..n as u64).map(|i| i * i).sum();
+        prop_assert_eq!(report.results[0], expect);
+    }
+}

@@ -1,0 +1,159 @@
+//! Repetition statistics for measured times.
+//!
+//! The paper's convolution numbers are averages of twenty runs ("Runs were
+//! done twenty times and averaged"), and its Fig. 5 commentary leans on
+//! measurement noise repeatedly. [`RepStats`] summarizes a set of
+//! repetitions with mean, sample standard deviation and a Student-t 95%
+//! confidence interval, so regenerated tables can state *how* noisy a
+//! cell is instead of hiding it.
+
+/// Summary statistics of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepStats {
+    /// Number of repetitions.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval of the mean
+    /// (Student-t; 0 for n < 2).
+    pub ci95: f64,
+}
+
+impl RepStats {
+    /// Summarize a set of measurements. `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<RepStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Some(RepStats {
+                n,
+                mean,
+                stddev: 0.0,
+                ci95: 0.0,
+            });
+        }
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        let sem = stddev / (n as f64).sqrt();
+        Some(RepStats {
+            n,
+            mean,
+            stddev,
+            ci95: t95(n - 1) * sem,
+        })
+    }
+
+    /// Relative CI half-width (`ci95 / mean`; 0 for a zero mean).
+    pub fn rel_ci(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.ci95 / self.mean).abs()
+        }
+    }
+
+    /// Do two measurements overlap at 95% confidence? (A conservative
+    /// "not significantly different" check by interval overlap.)
+    pub fn overlaps(&self, other: &RepStats) -> bool {
+        (self.mean - other.mean).abs() <= self.ci95 + other.ci95
+    }
+
+    /// Format as `mean ± ci95`.
+    pub fn display(&self) -> String {
+        if self.n < 2 {
+            format!("{:.2}", self.mean)
+        } else {
+            format!("{:.2} ± {:.2}", self.mean, self.ci95)
+        }
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (table through 30, then the normal limit).
+fn t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.960
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = RepStats::from_samples(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        // df = 2 -> t = 4.303; sem = 2/sqrt(3).
+        let expect = 4.303 * 2.0 / 3f64.sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(RepStats::from_samples(&[]).is_none());
+        let s = RepStats::from_samples(&[5.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.display(), "5.00");
+    }
+
+    #[test]
+    fn identical_samples_have_zero_interval() {
+        let s = RepStats::from_samples(&[3.0; 20]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.rel_ci(), 0.0);
+    }
+
+    #[test]
+    fn interval_shrinks_with_repetitions() {
+        // Alternating samples: same stddev estimate, more reps -> tighter.
+        let few: Vec<f64> = (0..4).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
+        let many: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
+        let sf = RepStats::from_samples(&few).unwrap();
+        let sm = RepStats::from_samples(&many).unwrap();
+        assert!(sm.ci95 < sf.ci95);
+        assert!((sf.mean - sm.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_check() {
+        let a = RepStats::from_samples(&[10.0, 10.2, 9.8, 10.1]).unwrap();
+        let b = RepStats::from_samples(&[10.1, 10.3, 9.9, 10.0]).unwrap();
+        let c = RepStats::from_samples(&[20.0, 20.1, 19.9, 20.0]).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn t_table_monotone_and_limits() {
+        assert!(t95(0).is_infinite());
+        for df in 1..40 {
+            assert!(t95(df) >= t95(df + 1) - 1e-9, "df={df}");
+        }
+        assert_eq!(t95(1000), 1.960);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = RepStats::from_samples(&[1.0, 3.0]).unwrap();
+        assert!(s.display().contains("±"));
+    }
+}

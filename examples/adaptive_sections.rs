@@ -1,0 +1,111 @@
+//! The paper's §8 closing idea, executed: "dynamically restraining
+//! parallelism for non-scalable sections — investigating potential
+//! improvements for the overall computation."
+//!
+//! A program alternates between a large, scalable kernel and a small,
+//! overhead-dominated one on the simulated KNL. A fixed full-width team
+//! runs both past their sweet spots; `shmem::AdaptiveTeam` probes a thread
+//! ladder per section label and commits to each section's own optimum —
+//! recovering most of the wasted time. Sections profile both policies so
+//! the effect is visible in the same metrics the paper proposes.
+//!
+//! ```text
+//! cargo run --release --example adaptive_sections
+//! ```
+
+use machine::{presets, Work};
+use mpisim::WorldBuilder;
+use shmem::{AdaptiveTeam, Team};
+use speedup_repro::sections::{SectionProfiler, SectionRuntime, VerifyMode};
+
+const REPS: usize = 400;
+const BIG: usize = 110_592; // a LULESH-sized element loop
+const SMALL: usize = 2_048; // a boundary-sized loop
+const W: Work = Work::new(500.0, 48.0);
+
+fn run(policy: &'static str) -> (f64, mpi_sections::Profile, Option<(usize, usize)>) {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+    let report = WorldBuilder::new(1)
+        .machine(presets::knl())
+        .seed(8)
+        .tool(sections.clone())
+        .run(move |p| {
+            let world = p.world();
+            match policy {
+                "fixed" => {
+                    let team = Team::new(128);
+                    for _ in 0..REPS {
+                        s.scoped(p, &world, "BIG_KERNEL", |p| {
+                            team.for_cost_uniform(p, BIG, W);
+                        });
+                        s.scoped(p, &world, "SMALL_KERNEL", |p| {
+                            team.for_cost_uniform(p, SMALL, W);
+                        });
+                    }
+                    None
+                }
+                _ => {
+                    let mut team = AdaptiveTeam::new(128);
+                    for _ in 0..REPS {
+                        s.scoped(p, &world, "BIG_KERNEL", |p| {
+                            team.for_cost_uniform(p, "BIG_KERNEL", BIG, W);
+                        });
+                        s.scoped(p, &world, "SMALL_KERNEL", |p| {
+                            team.for_cost_uniform(p, "SMALL_KERNEL", SMALL, W);
+                        });
+                    }
+                    Some((
+                        team.threads_for("BIG_KERNEL"),
+                        team.threads_for("SMALL_KERNEL"),
+                    ))
+                }
+            }
+        })
+        .expect("run failed");
+    let decisions = report.results.into_iter().next().unwrap();
+    (
+        report.makespan.as_secs_f64(),
+        profiler.snapshot(),
+        decisions,
+    )
+}
+
+fn main() {
+    let (fixed_wall, fixed_profile, _) = run("fixed");
+    let (adaptive_wall, adaptive_profile, decisions) = run("adaptive");
+    let (big_threads, small_threads) = decisions.expect("adaptive decisions");
+
+    println!(
+        "{:<22} {:>12} {:>14} {:>16}",
+        "policy", "wall (s)", "BIG total (s)", "SMALL total (s)"
+    );
+    let totals = |p: &mpi_sections::Profile| {
+        (
+            p.get_world("BIG_KERNEL").unwrap().total_own_secs,
+            p.get_world("SMALL_KERNEL").unwrap().total_own_secs,
+        )
+    };
+    let (fb, fs) = totals(&fixed_profile);
+    let (ab, a_small) = totals(&adaptive_profile);
+    println!("{:<22} {fixed_wall:>12.3} {fb:>14.3} {fs:>16.3}", "fixed (128 threads)");
+    println!(
+        "{:<22} {adaptive_wall:>12.3} {ab:>14.3} {a_small:>16.3}",
+        "adaptive"
+    );
+    println!(
+        "\nadaptive committed to {big_threads} threads for BIG_KERNEL and \
+         {small_threads} for SMALL_KERNEL,\nrecovering {:.1}% of the fixed \
+         policy's walltime.",
+        100.0 * (fixed_wall - adaptive_wall) / fixed_wall
+    );
+    println!(
+        "\nThe section view explains why: under the fixed policy the small\n\
+         kernel is pure fork/join overhead (its inflexion point sits far\n\
+         below 128 threads), and by Eq. 6 it alone caps the whole program's\n\
+         speedup. Restraining just that section removes the cap."
+    );
+    assert!(adaptive_wall < fixed_wall, "adaptation must pay off here");
+}

@@ -1,0 +1,127 @@
+//! Sections on sub-communicators: a coupled multi-physics job.
+//!
+//! The paper defines a section as "a temporal outline of a distributed
+//! code region entered by all the MPI Processes belonging to a given
+//! communicator" — deliberately *not* just MPI_COMM_WORLD. This example
+//! exercises that: a fluid solver owns 12 ranks, a structure solver owns
+//! 4, each outlines its own phases on its own communicator, and the
+//! coupling exchange is a world-communicator section. The profile then
+//! answers the question coupled codes always ask: *who waits at the
+//! coupling boundary, and why?*
+//!
+//! ```text
+//! cargo run --release --example coupled_codes
+//! ```
+
+use machine::{presets, Work};
+use mpisim::{Src, TagSel, WorldBuilder};
+use speedup_repro::sections::{BalanceReport, SectionProfiler, SectionRuntime, VerifyMode};
+
+const STEPS: usize = 40;
+const FLUID_RANKS: usize = 12;
+
+fn main() {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+
+    WorldBuilder::new(16)
+        .machine(presets::nehalem_cluster())
+        .seed(14)
+        .tool(sections.clone())
+        .run(move |p| {
+            let world = p.world();
+            let is_fluid = p.world_rank() < FLUID_RANKS;
+            // Each physics gets its own communicator — and therefore its
+            // own section namespace and its own verification domain.
+            let team = world
+                .split(p, Some(if is_fluid { 0 } else { 1 }), 0)
+                .expect("every rank has a color");
+
+            for step in 0..STEPS {
+                if is_fluid {
+                    s.scoped(p, &team, "fluid.advect", |p| {
+                        p.compute(Work::flops(3.0e8 / FLUID_RANKS as f64));
+                    });
+                    s.scoped(p, &team, "fluid.pressure", |p| {
+                        p.compute(Work::flops(2.0e8 / FLUID_RANKS as f64));
+                        let _ = team.allreduce_sum_f64(p, 1.0);
+                    });
+                } else {
+                    s.scoped(p, &team, "solid.assemble", |p| {
+                        p.compute(Work::flops(1.0e8 / 4.0));
+                    });
+                    s.scoped(p, &team, "solid.solve", |p| {
+                        // The structure solver is the slow partner.
+                        p.compute(Work::flops(6.0e8 / 4.0));
+                        let _ = team.allreduce_sum_f64(p, 1.0);
+                    });
+                }
+                // The coupling: boundary tractions/displacements cross the
+                // interface — a world-communicator section.
+                s.scoped(p, &world, "COUPLING", |p| {
+                    // Fluid rank i pairs with solid rank i % 4.
+                    if is_fluid {
+                        let partner = FLUID_RANKS + p.world_rank() % 4;
+                        let _ = world.sendrecv(
+                            p,
+                            partner,
+                            step as i32,
+                            &[1.0f64; 256],
+                            Src::Rank(partner),
+                            TagSel::Is(step as i32),
+                        );
+                    } else {
+                        // Each solid rank serves 3 fluid partners.
+                        for k in 0..3 {
+                            let partner = (p.world_rank() - FLUID_RANKS) + 4 * k;
+                            let _ = world.sendrecv(
+                                p,
+                                partner,
+                                step as i32,
+                                &[1.0f64; 256],
+                                Src::Rank(partner),
+                                TagSel::Is(step as i32),
+                            );
+                        }
+                    }
+                });
+            }
+        })
+        .expect("run failed");
+
+    let profile = profiler.snapshot();
+    println!(
+        "{:<16} {:>6} {:>12} {:>14}",
+        "section", "ranks", "avg/rank (s)", "entry imb (s)"
+    );
+    let mut rows: Vec<_> = profile
+        .sections()
+        .filter(|st| st.key.label != speedup_repro::sections::MPI_MAIN)
+        .collect();
+    rows.sort_by(|a, b| a.key.label.cmp(&b.key.label));
+    for st in rows {
+        println!(
+            "{:<16} {:>6} {:>12.3} {:>14.4}",
+            st.key.label,
+            st.participants,
+            st.avg_per_rank_secs(),
+            st.mean_entry_imbalance_secs,
+        );
+    }
+
+    let coupling = profile.get_world("COUPLING").expect("profiled");
+    let balance = BalanceReport::for_section(coupling).expect("ranks");
+    println!("\ncoupling-boundary balance: {}", balance.summary());
+    println!(
+        "\nreading: each solver's phases live on its own communicator (12\n\
+         fluid ranks, 4 solid ranks — note the 'ranks' column), so each\n\
+         team's nesting is verified independently. The COUPLING section's\n\
+         entry imbalance shows who arrives late at the interface: the side\n\
+         with the larger per-step compute. That asymmetry — not the\n\
+         message size — is what the coupling section pays for, which is\n\
+         precisely the paper's argument for measuring *distributed phases*\n\
+         rather than function durations."
+    );
+}

@@ -1,0 +1,104 @@
+//! Model *your* cluster without recompiling: define a machine in the
+//! plain-text config format, load it, and ask the usual section-based
+//! questions — which phase will cap my scaling on this hardware?
+//!
+//! ```text
+//! cargo run --release --example custom_machine
+//! ```
+//!
+//! The same file format works with the profiling CLI:
+//! `cargo run -p bench --bin profile -- conv --machine-file my.mach ...`
+
+use machine::MachineModel;
+use mpisim::WorldBuilder;
+use speedup_repro::convolution::{run_convolution, ConvConfig};
+use speedup_repro::sections::{SectionProfiler, SectionRuntime, VerifyMode};
+use std::sync::Arc;
+
+/// Two hypothetical procurement options for the same budget: fat nodes on
+/// a slow fabric vs thin nodes on a fast one.
+const FAT_NODES: &str = "
+name = fat-nodes-slow-fabric
+cores_per_node = 64
+ranks_per_node = 64
+flops_per_sec = 2.05e8
+node_bandwidth = 100e9
+per_thread_bandwidth = 4e9
+intra.latency  = 5e-7
+intra.bandwidth = 10e9
+intra.overhead = 2e-7
+inter.latency  = 8e-6          # cheap fabric
+inter.bandwidth = 1e9
+inter.overhead = 2e-6
+noise.compute_sigma = 0.04
+";
+
+const THIN_NODES: &str = "
+name = thin-nodes-fast-fabric
+cores_per_node = 8
+ranks_per_node = 8
+flops_per_sec = 2.05e8
+node_bandwidth = 25e9
+per_thread_bandwidth = 6e9
+intra.latency  = 5e-7
+intra.bandwidth = 10e9
+intra.overhead = 2e-7
+inter.latency  = 1.2e-6        # premium fabric
+inter.bandwidth = 10e9
+inter.overhead = 4e-7
+noise.compute_sigma = 0.04
+";
+
+fn measure(machine: &MachineModel, p: usize, steps: usize) -> (f64, f64, f64) {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+    let cfg = Arc::new(ConvConfig::paper(steps));
+    let report = WorldBuilder::new(p)
+        .machine(machine.clone())
+        .seed(42)
+        .tool(sections.clone())
+        .run(move |pr| {
+            run_convolution(pr, &s, &cfg);
+        })
+        .expect("run failed");
+    let profile = profiler.snapshot();
+    let total = |label: &str| {
+        profile
+            .get_world(label)
+            .map(|st| st.total_own_secs)
+            .unwrap_or(0.0)
+    };
+    (report.makespan_secs(), total("HALO"), total("SCATTER"))
+}
+
+fn main() {
+    let fat = MachineModel::from_config_str(FAT_NODES).expect("valid config");
+    let thin = MachineModel::from_config_str(THIN_NODES).expect("valid config");
+    println!("option A: {}\noption B: {}\n", fat.describe(), thin.describe());
+
+    let steps = 100;
+    println!(
+        "{:>4} | {:>31} | {:>31}",
+        "p", "A: wall / HALO / SCATTER (s)", "B: wall / HALO / SCATTER (s)"
+    );
+    for p in [8usize, 64, 256, 456] {
+        let (wall_a, halo_a, scat_a) = measure(&fat, p, steps);
+        let (wall_b, halo_b, scat_b) = measure(&thin, p, steps);
+        println!(
+            "{p:>4} | {wall_a:>10.2} / {halo_a:>7.2} / {scat_a:>7.2} | {wall_b:>10.2} / {halo_b:>7.2} / {scat_b:>7.2}"
+        );
+    }
+    println!(
+        "\nThe answer this workload gives is itself instructive: the two\n\
+         designs are indistinguishable until the job spans option A's\n\
+         nodes (p > 64), and even then only the bulk SCATTER/GATHER and\n\
+         the walltime tail notice the 10x fabric gap — a 1-D stencil's\n\
+         halo traffic is overwhelmingly node-local, and its waiting time\n\
+         is jitter, not wire. Eight config lines and one section profile\n\
+         answer a procurement question that folklore usually argues about.\n\
+         Edit the two config strings (or load files with\n\
+         MachineModel::from_config_file) to ask your own."
+    );
+}

@@ -1,0 +1,93 @@
+//! Load-balance diagnostics from section metadata — the paper's Fig. 3
+//! metrics in action, and a preview of its future-work "MPI Section
+//! analysis interface describing the load-balancing of Sections".
+//!
+//! A deliberately imbalanced domain decomposition (rank r gets ~r times
+//! the work) is profiled; the entry-imbalance and section-imbalance
+//! metrics expose which phase loses the time, without any tracing.
+//!
+//! ```text
+//! cargo run --release --example imbalance_analysis
+//! ```
+
+use machine::{presets, Work};
+use mpisim::WorldBuilder;
+use speedup_repro::sections::{SectionProfiler, SectionRuntime, VerifyMode};
+
+fn main() {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+    let nranks = 16;
+
+    WorldBuilder::new(nranks)
+        .machine(presets::nehalem_cluster())
+        .seed(7)
+        .tool(sections.clone())
+        .run(move |p| {
+            let world = p.world();
+            let rank = p.world_rank();
+            for _step in 0..50 {
+                // BALANCED: equal work everywhere.
+                s.scoped(p, &world, "BALANCED", |p| {
+                    p.compute(Work::flops(5.0e7));
+                });
+                // SKEWED: work grows linearly with rank (a bad partition).
+                s.scoped(p, &world, "SKEWED", |p| {
+                    p.compute(Work::flops(1.0e7 * (rank + 1) as f64));
+                });
+                // SYNC: the barrier that converts imbalance into waiting.
+                s.scoped(p, &world, "SYNC", |p| {
+                    world.barrier(p);
+                });
+            }
+        })
+        .expect("run failed");
+
+    let profile = profiler.snapshot();
+    println!(
+        "{:<10} {:>12} {:>16} {:>14} {:>12}",
+        "section", "total (s)", "entry imb (s)", "sect imb (s)", "span (s)"
+    );
+    for label in ["BALANCED", "SKEWED", "SYNC"] {
+        let st = profile.get_world(label).expect("profiled");
+        println!(
+            "{:<10} {:>12.3} {:>16.4} {:>14.4} {:>12.3}",
+            label,
+            st.total_own_secs,
+            st.mean_entry_imbalance_secs,
+            st.mean_imbalance_secs,
+            st.total_span_secs,
+        );
+    }
+
+    let skewed = profile.get_world("SKEWED").unwrap();
+    let sync = profile.get_world("SYNC").unwrap();
+    println!(
+        "\ndiagnosis: SKEWED's section imbalance ({:.4} s/instance) is what the\n\
+         SYNC barrier pays for — its per-rank time is almost pure waiting\n\
+         ({:.2} s total). The paper's point: \"loosely synchronized MPI ranks\n\
+         may avoid an MPI_Barrier call which would convert the imbalance in a\n\
+         parallel synchronization cost\" — here the metrics quantify exactly\n\
+         that conversion, from two enter/exit calls per phase.",
+        skewed.mean_imbalance_secs, sync.total_own_secs,
+    );
+
+    // Per-instance drill-down for one phase: the first few SKEWED steps.
+    println!("\nSKEWED per-instance detail (first 5 steps):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12}",
+        "step", "Tmin (s)", "Tmax (s)", "mean Tsec (s)", "imb (s)"
+    );
+    for (i, inst) in skewed.per_instance.iter().take(5).enumerate() {
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>14.4} {:>12.4}",
+            i,
+            inst.t_min().as_secs_f64(),
+            inst.t_max().as_secs_f64(),
+            inst.mean_t_section_secs(),
+            inst.imbalance_secs(),
+        );
+    }
+}

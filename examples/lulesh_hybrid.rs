@@ -1,0 +1,91 @@
+//! The paper's §5.2 headline: measure OpenMP scaling *solely from MPI-level
+//! sections*. Runs the LULESH proxy on the simulated KNL in several
+//! MPI × OpenMP configurations and locates the inflexion point that bounds
+//! the speedup (Fig. 10).
+//!
+//! ```text
+//! cargo run --release --example lulesh_hybrid [iterations]
+//! ```
+
+use speedup_repro::lulesh::{run_lulesh, size_for, LuleshConfig, PAPER_TOTAL_ELEMENTS};
+use speedup_repro::sections::{SectionProfiler, SectionRuntime, VerifyMode};
+use mpisim::WorldBuilder;
+use std::sync::Arc;
+
+fn measure(p: usize, threads: usize, iterations: usize) -> (f64, f64, f64) {
+    let s = size_for(PAPER_TOTAL_ELEMENTS, p).expect("cubic process count");
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let sr = sections.clone();
+    let cfg = Arc::new(LuleshConfig::timing(s, iterations, threads));
+    WorldBuilder::new(p)
+        .machine(machine::presets::knl())
+        .seed(9)
+        .tool(sections.clone())
+        .run(move |proc| {
+            run_lulesh(proc, &sr, &cfg);
+        })
+        .expect("run failed");
+    let profile = profiler.snapshot();
+    let avg = |label: &str| {
+        profile
+            .get_world(label)
+            .map(|st| st.avg_per_rank_secs())
+            .unwrap_or(0.0)
+    };
+    (
+        avg("timeloop"),
+        avg("LagrangeNodal"),
+        avg("LagrangeElements"),
+    )
+}
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250);
+    println!(
+        "LULESH proxy, 110 592 elements strong scaling on the simulated KNL\n\
+         ({iterations} iterations; the paper's scale is 2500)\n"
+    );
+
+    println!(
+        "{:>3} {:>8} {:>12} {:>16} {:>18}",
+        "p", "threads", "walltime (s)", "LagrangeNodal (s)", "LagrangeElements (s)"
+    );
+    // The hybrid grid of Fig. 9.
+    for p in [1usize, 8, 27] {
+        for threads in [1usize, 4, 16, 64] {
+            let (wall, nodal, elements) = measure(p, threads, iterations);
+            println!("{p:>3} {threads:>8} {wall:>12.2} {nodal:>16.2} {elements:>18.2}");
+        }
+        println!();
+    }
+
+    // The pure-OpenMP sweep of Fig. 10: find the inflexion point.
+    let mut series = Vec::new();
+    let mut seq = 0.0;
+    for threads in [1usize, 2, 4, 8, 16, 20, 24, 32, 48, 64] {
+        let (wall, _, _) = measure(1, threads, iterations);
+        if threads == 1 {
+            seq = wall;
+        }
+        series.push((threads, wall));
+    }
+    let scaling = speedup::ScalingSeries::new(series);
+    let inflexion = scaling.inflexion(0.02).expect("measured");
+    println!(
+        "pure OpenMP (p = 1): inflexion at {} threads — walltime stops\n\
+         decreasing there, so Eq. 6 caps any further speedup at {:.2}x\n\
+         (measured speedup at the inflexion: {:.2}x).",
+        inflexion.p,
+        scaling.bound_at_inflexion(seq, 0.02).unwrap(),
+        seq / inflexion.secs,
+    );
+    println!(
+        "\nRun `cargo run --release -p bench --bin figures -- fig10` for the\n\
+         full-scale version compared against the paper's numbers."
+    );
+}

@@ -1,0 +1,124 @@
+//! Writing a custom section tool — the paper's Fig. 2 callback interface.
+//!
+//! Two tools are attached to the same section runtime:
+//!
+//! * a **latency watchdog** that stamps its own entry timestamp into the
+//!   32-byte `data` blob at enter and flags slow instances at leave
+//!   (demonstrating that the runtime preserves tool data, the blob's whole
+//!   purpose);
+//! * a **trace writer** that emits a per-rank, flame-graph-style indented
+//!   trace of section nesting.
+//!
+//! ```text
+//! cargo run --release --example tool_interposition
+//! ```
+
+use machine::{presets, Work};
+use mpisim::{SectionData, WorldBuilder};
+use parking_lot::Mutex;
+use speedup_repro::sections::{EnterInfo, LeaveInfo, SectionRuntime, SectionTool, VerifyMode};
+use std::sync::Arc;
+
+/// Flags section instances slower than a threshold, using the data blob to
+/// carry its own timestamp between enter and leave.
+struct Watchdog {
+    threshold_secs: f64,
+    slow: Mutex<Vec<(usize, String, f64)>>,
+}
+
+impl SectionTool for Watchdog {
+    fn on_enter(&self, info: &EnterInfo, data: &mut SectionData) {
+        data[..8].copy_from_slice(&info.time.as_nanos().to_le_bytes());
+    }
+
+    fn on_leave(&self, info: &LeaveInfo, data: &SectionData) {
+        let stamped = u64::from_le_bytes(data[..8].try_into().unwrap());
+        let elapsed = (info.time.as_nanos() - stamped) as f64 * 1e-9;
+        if elapsed > self.threshold_secs {
+            self.slow
+                .lock()
+                .push((info.world_rank, info.label.to_string(), elapsed));
+        }
+    }
+}
+
+/// Emits an indented per-rank trace of rank 0's section activity.
+struct Tracer {
+    lines: Mutex<Vec<String>>,
+}
+
+impl SectionTool for Tracer {
+    fn on_enter(&self, info: &EnterInfo, _data: &mut SectionData) {
+        if info.world_rank == 0 {
+            self.lines.lock().push(format!(
+                "{:>10.3}ms {}> {}",
+                info.time.as_secs_f64() * 1e3,
+                "  ".repeat(info.depth),
+                info.label
+            ));
+        }
+    }
+
+    fn on_leave(&self, info: &LeaveInfo, _data: &SectionData) {
+        if info.world_rank == 0 {
+            self.lines.lock().push(format!(
+                "{:>10.3}ms {}< {} ({:.3}ms, excl {:.3}ms)",
+                info.time.as_secs_f64() * 1e3,
+                "  ".repeat(info.depth),
+                info.label,
+                info.duration.as_secs_f64() * 1e3,
+                info.exclusive.as_secs_f64() * 1e3,
+            ));
+        }
+    }
+}
+
+fn main() {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let watchdog = Arc::new(Watchdog {
+        threshold_secs: 0.35,
+        slow: Mutex::new(Vec::new()),
+    });
+    let tracer = Arc::new(Tracer {
+        lines: Mutex::new(Vec::new()),
+    });
+    sections.attach(watchdog.clone());
+    sections.attach(tracer.clone());
+
+    let s = sections.clone();
+    WorldBuilder::new(4)
+        .machine(presets::nehalem_cluster())
+        .seed(3)
+        .tool(sections.clone())
+        .run(move |p| {
+            let world = p.world();
+            for step in 0..3 {
+                s.scoped(p, &world, "step", |p| {
+                    s.scoped(p, &world, "assemble", |p| {
+                        p.compute(Work::flops(2.0e7));
+                    });
+                    s.scoped(p, &world, "solve", |p| {
+                        // Step 1 is pathological on rank 2.
+                        let f = if step == 1 && p.world_rank() == 2 { 6.0 } else { 1.0 };
+                        p.compute(Work::flops(2.0e7 * f));
+                        world.barrier(p);
+                    });
+                });
+            }
+        })
+        .expect("run failed");
+
+    println!("rank-0 section trace:");
+    for line in tracer.lines.lock().iter() {
+        println!("  {line}");
+    }
+
+    println!("\nwatchdog report (threshold 350 ms):");
+    let slow = watchdog.slow.lock();
+    if slow.is_empty() {
+        println!("  nothing above threshold");
+    }
+    for (rank, label, secs) in slow.iter() {
+        println!("  rank {rank}: '{label}' took {:.1} ms", secs * 1e3);
+    }
+}

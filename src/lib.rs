@@ -1,0 +1,30 @@
+//! # speedup-repro — umbrella crate
+//!
+//! Reproduction of *"Towards a Better Expressiveness of the Speedup Metric
+//! in MPI Context"* (Besnard, Malony, Shende, Pérache, Carribault, Jaeger —
+//! ICPP Workshops 2017).
+//!
+//! This crate re-exports the workspace's public surface and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). See README.md for a tour and DESIGN.md for the system
+//! inventory.
+//!
+//! * [`machine`] — machine models (compute, network, OpenMP overhead,
+//!   noise) and the calibrated presets.
+//! * [`mpisim`] — the virtual-time MPI-like runtime with PMPI-style tool
+//!   hooks.
+//! * [`shmem`] — the OpenMP-like fork-join model.
+//! * [`sections`] — the paper's `MPI_Section` abstraction, callback
+//!   interface and profiler (crate `mpi-sections`).
+//! * [`speedup`] — scaling laws and partial speedup bounding (Eq. 6).
+//! * [`convolution`] — the §5.1 image-convolution benchmark.
+//! * [`lulesh`] — the §5.2 LULESH-like hybrid proxy (crate
+//!   `lulesh-proxy`).
+
+pub use convolution;
+pub use lulesh_proxy as lulesh;
+pub use machine;
+pub use mpi_sections as sections;
+pub use mpisim;
+pub use shmem;
+pub use speedup;

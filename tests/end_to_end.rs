@@ -1,0 +1,204 @@
+//! Cross-crate integration tests: the full measurement pipeline
+//! (runtime → sections → profiler → speedup analysis) against the paper's
+//! headline numbers.
+
+use mpisim::WorldBuilder;
+use speedup_repro::convolution::{run_convolution, ConvConfig};
+use speedup_repro::lulesh::{run_lulesh, LuleshConfig, PAPER_ITERATIONS};
+use speedup_repro::sections::{Profile, SectionProfiler, SectionRuntime, VerifyMode, MPI_MAIN};
+use std::sync::Arc;
+
+fn conv_run(p: usize, steps: usize, seed: u64) -> (Profile, f64) {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+    let cfg = Arc::new(ConvConfig::paper(steps));
+    let report = WorldBuilder::new(p)
+        .machine(machine::presets::nehalem_cluster())
+        .seed(seed)
+        .tool(sections.clone())
+        .run(move |pr| {
+            run_convolution(pr, &s, &cfg);
+        })
+        .unwrap();
+    (profiler.snapshot(), report.makespan_secs())
+}
+
+fn lulesh_run(p: usize, s: usize, iters: usize, threads: usize) -> Profile {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let sr = sections.clone();
+    let cfg = Arc::new(LuleshConfig::timing(s, iters, threads));
+    WorldBuilder::new(p)
+        .machine(machine::presets::knl())
+        .seed(5)
+        .tool(sections.clone())
+        .run(move |pr| {
+            run_lulesh(pr, &sr, &cfg);
+        })
+        .unwrap();
+    profiler.snapshot()
+}
+
+/// §5.1 calibration: the sequential convolution's total section time is
+/// within 10% of the paper's 5589.84 s (at the paper's 1000 steps, which
+/// we check at 100 steps and scale — the benchmark is step-linear).
+#[test]
+fn sequential_convolution_total_matches_paper() {
+    let (profile, _) = conv_run(1, 100, 1);
+    let total: f64 = speedup_repro::convolution::SECTIONS
+        .iter()
+        .filter_map(|l| profile.get_world(l))
+        .map(|s| s.total_own_secs)
+        .sum();
+    // LOAD/SCATTER/GATHER/STORE are once-per-run; CONVOLVE dominates so
+    // linear scaling of the step sections is accurate to well under 1%.
+    let per_step_sections = ["CONVOLVE", "HALO"];
+    let step_total: f64 = per_step_sections
+        .iter()
+        .filter_map(|l| profile.get_world(l))
+        .map(|s| s.total_own_secs)
+        .sum();
+    let fixed = total - step_total;
+    let scaled = fixed + step_total * 10.0;
+    assert!(
+        (scaled - 5589.84).abs() / 5589.84 < 0.10,
+        "sequential total {scaled} vs paper 5589.84"
+    );
+}
+
+/// Eq. 6 at every scale: measured speedup never exceeds the HALO bound.
+#[test]
+fn halo_bound_is_valid_at_every_scale() {
+    let (_, seq_wall) = conv_run(1, 50, 2);
+    let (seq_profile, _) = conv_run(1, 50, 2);
+    let seq_total: f64 = speedup_repro::convolution::SECTIONS
+        .iter()
+        .filter_map(|l| seq_profile.get_world(l))
+        .map(|s| s.total_own_secs)
+        .sum();
+    for p in [8usize, 32, 64] {
+        let (profile, wall) = conv_run(p, 50, 2);
+        let halo = profile.get_world("HALO").unwrap().total_own_secs;
+        let bound = speedup::partial_bound(seq_total, halo, p);
+        let s = seq_wall / wall;
+        assert!(s <= bound, "p={p}: S={s} exceeds bound {bound}");
+    }
+}
+
+/// The §5.2 headline numbers at full paper scale (KNL, s = 48, 2500
+/// iterations): sequential walltime, the Eq. 6 bound at 24 threads and the
+/// actual speedup there, each within 5% of the paper.
+#[test]
+fn lulesh_fig10_headline_numbers() {
+    let seq = lulesh_run(1, 48, PAPER_ITERATIONS, 1);
+    let at24 = lulesh_run(1, 48, PAPER_ITERATIONS, 24);
+    let wall = |p: &Profile| p.get_world("timeloop").unwrap().avg_per_rank_secs();
+    let seq_wall = wall(&seq);
+    assert!(
+        (seq_wall - 882.48).abs() / 882.48 < 0.05,
+        "sequential walltime {seq_wall} vs paper 882.48"
+    );
+    let nodal = at24.get_world("LagrangeNodal").unwrap().avg_per_rank_secs();
+    let elements = at24
+        .get_world("LagrangeElements")
+        .unwrap()
+        .avg_per_rank_secs();
+    assert!((nodal - 43.84).abs() / 43.84 < 0.05, "nodal {nodal} vs 43.84");
+    assert!(
+        (elements - 64.29).abs() / 64.29 < 0.05,
+        "elements {elements} vs 64.29"
+    );
+    let bound = speedup::partial_bound_per_process(seq_wall, nodal + elements);
+    assert!((bound - 8.16).abs() / 8.16 < 0.05, "bound {bound} vs 8.16");
+    let actual = seq_wall / wall(&at24);
+    assert!((actual - 8.08).abs() / 8.08 < 0.05, "speedup {actual} vs 8.08");
+    // "each section is individually bounding the speedup": the
+    // LagrangeElements-only bound, paper 13.72x.
+    let eb = speedup::partial_bound_per_process(seq_wall, elements);
+    assert!((eb - 13.72).abs() / 13.72 < 0.05, "elements bound {eb} vs 13.72");
+}
+
+/// The timeloop accounts for ≈99% of MPI_MAIN (paper §5.2) and an
+/// inflexion exists in the pure-OpenMP walltime series.
+#[test]
+fn lulesh_structure_and_inflexion() {
+    let mut series = Vec::new();
+    for threads in [1usize, 4, 16, 64, 256] {
+        let profile = lulesh_run(1, 48, 100, threads);
+        let main = profile.get_world(MPI_MAIN).unwrap().avg_per_rank_secs();
+        let timeloop = profile.get_world("timeloop").unwrap().avg_per_rank_secs();
+        assert!(timeloop / main > 0.99, "timeloop share at t={threads}");
+        series.push((threads, timeloop));
+    }
+    let scaling = speedup::ScalingSeries::new(series);
+    let inflexion = scaling.inflexion(0.0).unwrap();
+    assert_eq!(inflexion.p, 16, "valley of the KNL curve at this grid");
+    assert!(!scaling.still_scaling(0.0));
+}
+
+/// Hybrid crossover (Figs. 8/9): on the KNL, at p = 1 threads help, at
+/// p = 27 they hurt.
+#[test]
+fn knl_hybrid_crossover() {
+    let wall = |p: usize, s: usize, t: usize| {
+        lulesh_run(p, s, 50, t)
+            .get_world("timeloop")
+            .unwrap()
+            .avg_per_rank_secs()
+    };
+    assert!(wall(1, 48, 8) < wall(1, 48, 1) * 0.5, "threads help at p=1");
+    assert!(wall(27, 16, 8) > wall(27, 16, 1), "threads hurt at p=27");
+}
+
+/// MPI outruns OpenMP on Broadwell in strong scaling (Fig. 8): 8 processes
+/// of 1 thread beat 1 process of 8 threads on the same problem.
+#[test]
+fn broadwell_mpi_beats_openmp() {
+    let run = |p: usize, s: usize, t: usize| {
+        let sections = SectionRuntime::new(VerifyMode::Off);
+        let profiler = SectionProfiler::new();
+        sections.attach(profiler.clone());
+        let sr = sections.clone();
+        let cfg = Arc::new(LuleshConfig::timing(s, 100, t));
+        WorldBuilder::new(p)
+            .machine(machine::presets::dual_broadwell())
+            .seed(5)
+            .tool(sections.clone())
+            .run(move |pr| {
+                run_lulesh(pr, &sr, &cfg);
+            })
+            .unwrap();
+        profiler
+            .snapshot()
+            .get_world("timeloop")
+            .unwrap()
+            .avg_per_rank_secs()
+    };
+    let mpi = run(8, 24, 1);
+    let omp = run(1, 48, 8);
+    assert!(
+        mpi < omp,
+        "MPI(p=8,t=1)={mpi} should beat OpenMP(p=1,t=8)={omp}"
+    );
+}
+
+/// The convolution CONVOLVE section conserves total work while HALO grows
+/// with p — the Fig. 5(a/b) direction.
+#[test]
+fn convolution_section_shapes() {
+    let (p1, _) = conv_run(1, 50, 3);
+    let (p16, _) = conv_run(16, 50, 3);
+    let (p64, _) = conv_run(64, 50, 3);
+    let conv = |pr: &Profile| pr.get_world("CONVOLVE").unwrap().total_own_secs;
+    let halo = |pr: &Profile| pr.get_world("HALO").unwrap().total_own_secs;
+    // Work conserved within noise.
+    assert!((conv(&p16) - conv(&p1)).abs() / conv(&p1) < 0.05);
+    assert!((conv(&p64) - conv(&p1)).abs() / conv(&p1) < 0.05);
+    // Communication overhead appears and grows.
+    assert!(halo(&p1) < 1e-9);
+    assert!(halo(&p16) > 0.0);
+    assert!(halo(&p64) > halo(&p16));
+}

@@ -1,0 +1,119 @@
+//! Cross-crate property tests: random phase-structured programs measured
+//! through the full stack satisfy the paper's structural guarantees.
+
+use machine::{presets, Work};
+use mpisim::WorldBuilder;
+use proptest::prelude::*;
+use speedup_repro::sections::{
+    ProfileComparison, SectionProfiler, SectionRuntime, VerifyMode,
+};
+use std::sync::Arc;
+
+/// A random phase-structured SPMD program: a list of (label, flops-scale,
+/// uses-collective) phases repeated over a few steps.
+#[derive(Debug, Clone)]
+struct Phase {
+    label: u8,
+    flops: f64,
+    collective: bool,
+}
+
+fn phases() -> impl Strategy<Value = Vec<Phase>> {
+    prop::collection::vec(
+        (0u8..5, 1.0f64..100.0, any::<bool>()).prop_map(|(label, flops, collective)| Phase {
+            label,
+            flops: flops * 1e6,
+            collective,
+        }),
+        1..5,
+    )
+}
+
+fn run_phases(nranks: usize, steps: usize, program: &Arc<Vec<Phase>>, seed: u64) -> mpi_sections::Profile {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+    let program = program.clone();
+    WorldBuilder::new(nranks)
+        .machine(presets::nehalem_cluster())
+        .seed(seed)
+        .tool(sections.clone())
+        .run(move |p| {
+            let world = p.world();
+            for _ in 0..steps {
+                for phase in program.iter() {
+                    s.scoped(p, &world, &format!("phase{}", phase.label), |p| {
+                        p.compute(Work::flops(phase.flops / p.world_size() as f64));
+                        if phase.collective {
+                            let _ = world.allreduce_sum_f64(p, 1.0);
+                        }
+                    });
+                }
+            }
+        })
+        .unwrap();
+    profiler.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Eq. 6 structural guarantee: for any random program, at any scale,
+    /// the measured program speedup never exceeds any section's bound.
+    #[test]
+    fn eq6_holds_for_random_programs(program in phases(), nranks in 2usize..9) {
+        let program = Arc::new(program);
+        let base = run_phases(1, 3, &program, 7);
+        let target = run_phases(nranks, 3, &program, 7);
+        let cmp = ProfileComparison::between(&base, &target, nranks);
+
+        let base_wall = base
+            .get_world(mpi_sections::MPI_MAIN)
+            .unwrap()
+            .avg_per_rank_secs();
+        let target_wall = target
+            .get_world(mpi_sections::MPI_MAIN)
+            .unwrap()
+            .avg_per_rank_secs();
+        let measured = base_wall / target_wall.max(1e-12);
+        for section in &cmp.sections {
+            prop_assert!(
+                measured <= section.program_bound + 1e-6,
+                "S={measured} exceeds {}'s bound {}",
+                section.label,
+                section.program_bound
+            );
+        }
+    }
+
+    /// Exclusive-time partition: over any random program, the sum of
+    /// exclusive section times equals the summed per-rank elapsed time.
+    #[test]
+    fn exclusive_times_partition_elapsed(program in phases(), nranks in 1usize..6) {
+        let program = Arc::new(program);
+        let profile = run_phases(nranks, 2, &program, 3);
+        let excl: f64 = profile.sections().map(|s| s.total_excl_secs).sum();
+        let main = profile.get_world(mpi_sections::MPI_MAIN).unwrap();
+        prop_assert!(
+            (excl - main.total_own_secs).abs() < 1e-6,
+            "{excl} vs {}",
+            main.total_own_secs
+        );
+    }
+
+    /// Determinism through the whole stack: identical seeds, identical
+    /// profiles, for any random program.
+    #[test]
+    fn full_stack_determinism(program in phases()) {
+        let program = Arc::new(program);
+        let a = run_phases(4, 2, &program, 11);
+        let b = run_phases(4, 2, &program, 11);
+        let sig = |p: &mpi_sections::Profile| -> Vec<(String, u64)> {
+            p.sections()
+                .map(|s| (s.key.label.clone(), (s.total_own_secs * 1e9).round() as u64))
+                .collect()
+        };
+        prop_assert_eq!(sig(&a), sig(&b));
+    }
+}
