@@ -47,13 +47,15 @@ fn bench_collectives(c: &mut Criterion) {
     group.throughput(Throughput::Elements(count as u64));
     for nranks in [2usize, 8, 32] {
         group.bench_with_input(BenchmarkId::new("barrier", nranks), &nranks, |b, &n| {
-            b.iter(|| barriers(n, count))
+            b.iter(|| barriers(n, count));
         });
-        group.bench_with_input(BenchmarkId::new("allreduce_f64", nranks), &nranks, |b, &n| {
-            b.iter(|| allreduces(n, count))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_f64", nranks),
+            &nranks,
+            |b, &n| b.iter(|| allreduces(n, count)),
+        );
         group.bench_with_input(BenchmarkId::new("bcast_1k", nranks), &nranks, |b, &n| {
-            b.iter(|| bcasts(n, count, 1024))
+            b.iter(|| bcasts(n, count, 1024));
         });
     }
     group.finish();

@@ -73,7 +73,7 @@ fn bench_p2p(c: &mut Criterion) {
     group.throughput(Throughput::Elements(count as u64 * 2));
     for elems in [1usize, 1024, 65_536] {
         group.bench_with_input(BenchmarkId::new("pingpong_real", elems), &elems, |b, &e| {
-            b.iter(|| pingpong(count, e))
+            b.iter(|| pingpong(count, e));
         });
         group.bench_with_input(
             BenchmarkId::new("pingpong_virtual", elems),
@@ -82,9 +82,11 @@ fn bench_p2p(c: &mut Criterion) {
         );
     }
     for nranks in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("ring_sendrecv", nranks), &nranks, |b, &n| {
-            b.iter(|| ring_sendrecv(n, 500))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ring_sendrecv", nranks),
+            &nranks,
+            |b, &n| b.iter(|| ring_sendrecv(n, 500)),
+        );
     }
     group.finish();
 }

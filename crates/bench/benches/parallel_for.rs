@@ -49,7 +49,7 @@ fn bench_parallel_for(c: &mut Criterion) {
         ("weighted_dynamic", Schedule::Dynamic(16)),
     ] {
         group.bench_with_input(BenchmarkId::new(name, 16), &16usize, |b, &t| {
-            b.iter(|| weighted_regions(t, 50, 10_000, schedule))
+            b.iter(|| weighted_regions(t, 50, 10_000, schedule));
         });
     }
     group.finish();

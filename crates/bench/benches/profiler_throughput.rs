@@ -10,17 +10,15 @@ fn bench_workloads(c: &mut Criterion) {
     group.sample_size(10);
     let nehalem = machine::presets::nehalem_cluster();
     for p in [8usize, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("convolution_20steps", p),
-            &p,
-            |b, &p| b.iter(|| conv_profile(p, 20, &nehalem, 1)),
-        );
+        group.bench_with_input(BenchmarkId::new("convolution_20steps", p), &p, |b, &p| {
+            b.iter(|| conv_profile(p, 20, &nehalem, 1));
+        });
     }
     let knl = machine::presets::knl();
     for p in [1usize, 8] {
         group.bench_with_input(BenchmarkId::new("lulesh_10iters", p), &p, |b, &p| {
             let s = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, p).unwrap();
-            b.iter(|| lulesh_profile(p, s, 10, 4, &knl, 1))
+            b.iter(|| lulesh_profile(p, s, 10, 4, &knl, 1));
         });
     }
     group.finish();

@@ -25,7 +25,9 @@
 //! rows. Where the paper states a number, the table repeats it next to the
 //! measured value (see EXPERIMENTS.md for the full comparison).
 
-use bench::{conv_profile, f2, measure_convolution, measure_lulesh, render_table, write_csv, ConvRun};
+use bench::{
+    conv_profile, f2, measure_convolution, measure_lulesh, render_table, write_csv, ConvRun,
+};
 use lulesh_proxy::PAPER_ITERATIONS;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -132,9 +134,7 @@ fn main() {
             "ablation-balance" => ablation_balance(&opts),
             "halo-ratio" => halo_ratio(&opts),
             "weak-scaling" => weak_scaling(&opts),
-            "amdahl-vs-partial" => {
-                amdahl_vs_partial(&opts, conv_sweep(&opts, &mut conv_cache))
-            }
+            "amdahl-vs-partial" => amdahl_vs_partial(&opts, conv_sweep(&opts, &mut conv_cache)),
             "isoefficiency" => isoefficiency(&opts, conv_sweep(&opts, &mut conv_cache)),
             "decomp-2d" => decomp_2d(&opts),
             "forecast" => forecast(&opts),
@@ -187,7 +187,13 @@ fn fig5a(opts: &Options, runs: &[ConvRun]) {
                 .collect()
         })
         .collect();
-    emit(opts, "fig5a", "Fig. 5(a) — % of execution time per MPI Section", &header, &rows);
+    emit(
+        opts,
+        "fig5a",
+        "Fig. 5(a) — % of execution time per MPI Section",
+        &header,
+        &rows,
+    );
 }
 
 fn fig5b(opts: &Options, runs: &[ConvRun]) {
@@ -206,7 +212,13 @@ fn fig5b(opts: &Options, runs: &[ConvRun]) {
                 .collect()
         })
         .collect();
-    emit(opts, "fig5b", "Fig. 5(b) — total time per MPI Section (s, summed over ranks)", &header, &rows);
+    emit(
+        opts,
+        "fig5b",
+        "Fig. 5(b) — total time per MPI Section (s, summed over ranks)",
+        &header,
+        &rows,
+    );
 }
 
 fn fig5c(opts: &Options, runs: &[ConvRun]) {
@@ -222,7 +234,13 @@ fn fig5c(opts: &Options, runs: &[ConvRun]) {
                 .collect()
         })
         .collect();
-    emit(opts, "fig5c", "Fig. 5(c) — average time per process per MPI Section (s)", &header, &rows);
+    emit(
+        opts,
+        "fig5c",
+        "Fig. 5(c) — average time per process per MPI Section (s)",
+        &header,
+        &rows,
+    );
 }
 
 fn fig5d(opts: &Options, runs: &[ConvRun]) {
@@ -286,13 +304,7 @@ fn fig6(opts: &Options, runs: &[ConvRun]) {
     ]
     .into_iter()
     .collect();
-    let header = vec![
-        "p",
-        "halo_total_s",
-        "B",
-        "paper_halo_s",
-        "paper_B",
-    ];
+    let header = vec!["p", "halo_total_s", "B", "paper_halo_s", "paper_B"];
     let rows: Vec<Vec<String>> = runs
         .iter()
         .filter(|r| paper.contains_key(&r.p))
@@ -303,7 +315,7 @@ fn fig6(opts: &Options, runs: &[ConvRun]) {
             vec![r.p.to_string(), f2(halo), f2(b), f2(ph), f2(pb)]
         })
         .collect();
-    println!("  (sequential total: measured {:.2} s, paper 5589.84 s)", seq);
+    println!("  (sequential total: measured {seq:.2} s, paper 5589.84 s)");
     emit(
         opts,
         "fig6",
@@ -337,7 +349,13 @@ fn lulesh_sweep(
     threads: &[usize],
     iters: usize,
 ) {
-    let header = vec!["p", "threads", "walltime_s", "lagrange_nodal_s", "lagrange_elements_s"];
+    let header = vec![
+        "p",
+        "threads",
+        "walltime_s",
+        "lagrange_nodal_s",
+        "lagrange_elements_s",
+    ];
     let mut rows = Vec::new();
     for &p in ps {
         let s = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, p)
@@ -387,7 +405,9 @@ fn fig9(opts: &Options) {
 fn fig10(opts: &Options) {
     // Full paper scale: the absolute numbers of §5.2 are compared here.
     let machine = machine::presets::knl();
-    let threads = [1usize, 2, 4, 8, 16, 20, 24, 28, 32, 48, 64, 96, 128, 192, 256];
+    let threads = [
+        1usize, 2, 4, 8, 16, 20, 24, 28, 32, 48, 64, 96, 128, 192, 256,
+    ];
     let mut rows = Vec::new();
     let mut series = Vec::new();
     let mut at24 = None;
@@ -413,7 +433,13 @@ fn fig10(opts: &Options) {
             f2(seq_wall / run.walltime),
         ]);
     }
-    let header = vec!["threads", "walltime_s", "lagrange_nodal_s", "lagrange_elements_s", "speedup"];
+    let header = vec![
+        "threads",
+        "walltime_s",
+        "lagrange_nodal_s",
+        "lagrange_elements_s",
+        "speedup",
+    ];
     emit(
         opts,
         "fig10",
@@ -428,11 +454,16 @@ fn fig10(opts: &Options) {
         let combined = speedup::partial_bound_per_process(seq_wall, run.nodal + run.elements);
         let elements_only = speedup::partial_bound_per_process(seq_wall, run.elements);
         let actual = seq_wall / run.walltime;
-        println!("  sequential walltime:          measured {:.2} s   (paper 882.48 s)", seq_wall);
-        println!("  inflexion point:              measured t={}      (paper: 24 threads)", inflexion.p);
-        println!("  Eq.6 bound from both phases:  measured {:.2}x    (paper 8.16x)", combined);
-        println!("  actual speedup at 24 threads: measured {:.2}x    (paper 8.08x)", actual);
-        println!("  LagrangeElements-only bound:  measured {:.2}x    (paper 13.72x)\n", elements_only);
+        println!("  sequential walltime:          measured {seq_wall:.2} s   (paper 882.48 s)");
+        println!(
+            "  inflexion point:              measured t={}      (paper: 24 threads)",
+            inflexion.p
+        );
+        println!("  Eq.6 bound from both phases:  measured {combined:.2}x    (paper 8.16x)");
+        println!("  actual speedup at 24 threads: measured {actual:.2}x    (paper 8.08x)");
+        println!(
+            "  LagrangeElements-only bound:  measured {elements_only:.2}x    (paper 13.72x)\n"
+        );
     }
 }
 
@@ -447,8 +478,14 @@ fn ablation_jitter(opts: &Options) {
     for p in [8usize, 32, 64, 144] {
         let (with, _) = conv_profile(p, opts.steps / 4, &noisy, 1);
         let (without, _) = conv_profile(p, opts.steps / 4, &noiseless, 1);
-        let h_with = with.get_world("HALO").map(|s| s.total_own_secs).unwrap_or(0.0);
-        let h_without = without.get_world("HALO").map(|s| s.total_own_secs).unwrap_or(0.0);
+        let h_with = with
+            .get_world("HALO")
+            .map(|s| s.total_own_secs)
+            .unwrap_or(0.0);
+        let h_without = without
+            .get_world("HALO")
+            .map(|s| s.total_own_secs)
+            .unwrap_or(0.0);
         rows.push(vec![
             p.to_string(),
             f2(h_with),
@@ -473,13 +510,21 @@ fn ablation_network(opts: &Options) {
     free.network = machine::NetworkModel::FREE;
     free.noise = machine::NoiseModel::NONE;
     let real = machine::presets::nehalem_cluster();
-    let header = vec!["p", "wall_real_s", "wall_free_s", "halo_real_s", "halo_free_s"];
+    let header = vec![
+        "p",
+        "wall_real_s",
+        "wall_free_s",
+        "halo_real_s",
+        "halo_free_s",
+    ];
     let mut rows = Vec::new();
     for p in [8usize, 64, 144] {
         let (pr, wall_r) = conv_profile(p, opts.steps / 4, &real, 1);
         let (pf, wall_f) = conv_profile(p, opts.steps / 4, &free, 1);
         let halo = |prof: &mpi_sections::Profile| {
-            prof.get_world("HALO").map(|s| s.total_own_secs).unwrap_or(0.0)
+            prof.get_world("HALO")
+                .map(|s| s.total_own_secs)
+                .unwrap_or(0.0)
         };
         rows.push(vec![
             p.to_string(),
@@ -537,7 +582,14 @@ fn weak_scaling(opts: &Options) {
     let machine = machine::presets::nehalem_cluster();
     let rows_per_rank = 468usize;
     let steps = opts.steps / 4;
-    let header = vec!["p", "height", "wall_s", "weak_eff", "scaled_speedup", "gustafson_fs"];
+    let header = vec![
+        "p",
+        "height",
+        "wall_s",
+        "weak_eff",
+        "scaled_speedup",
+        "gustafson_fs",
+    ];
     let mut rows = Vec::new();
     let mut t1 = 0.0;
     for p in [1usize, 2, 4, 8, 16, 32, 64] {
@@ -555,9 +607,11 @@ fn weak_scaling(opts: &Options) {
             .run({
                 let cfg = cfg.clone();
                 move |pr| {
-                    convolution::run_convolution(pr, &mpi_sections::SectionRuntime::new(
-                        mpi_sections::VerifyMode::Off,
-                    ), &cfg);
+                    convolution::run_convolution(
+                        pr,
+                        &mpi_sections::SectionRuntime::new(mpi_sections::VerifyMode::Off),
+                        &cfg,
+                    );
                 }
             })
             .expect("weak-scaling run");
@@ -592,10 +646,7 @@ fn amdahl_vs_partial(opts: &Options, runs: &[ConvRun]) {
     // small scales, check its predictions at large scales, and contrast
     // with the section-level bound that directly names the culprit.
     let seq = seq_total(runs);
-    let speedups: Vec<(usize, f64)> = runs
-        .iter()
-        .map(|r| (r.p, runs[0].wall / r.wall))
-        .collect();
+    let speedups: Vec<(usize, f64)> = runs.iter().map(|r| (r.p, runs[0].wall / r.wall)).collect();
     let train: Vec<(usize, f64)> = speedups.iter().cloned().filter(|&(p, _)| p <= 64).collect();
     let fs = speedup::fit_amdahl_serial_fraction(&train).unwrap_or(0.0);
     let header = vec!["p", "measured_S", "amdahl_fit_S", "rel_err_%", "B_halo"];
@@ -603,7 +654,11 @@ fn amdahl_vs_partial(opts: &Options, runs: &[ConvRun]) {
         .iter()
         .map(|&(p, s)| {
             let predicted = speedup::laws::amdahl::bound(fs, p);
-            let err = if s > 0.0 { 100.0 * (predicted - s) / s } else { 0.0 };
+            let err = if s > 0.0 {
+                100.0 * (predicted - s) / s
+            } else {
+                0.0
+            };
             let halo = runs
                 .iter()
                 .find(|r| r.p == p)
@@ -679,7 +734,12 @@ fn ablation_adaptive(opts: &Options) {
     let (adaptive_wall, big_t, small_t) = run("adaptive");
     let header = vec!["policy", "wall_s", "threads_big", "threads_small"];
     let rows = vec![
-        vec!["fixed-128".into(), f2(fixed_wall), "128".into(), "128".into()],
+        vec![
+            "fixed-128".into(),
+            f2(fixed_wall),
+            "128".into(),
+            "128".into(),
+        ],
         vec![
             "adaptive".into(),
             f2(adaptive_wall),
@@ -710,9 +770,7 @@ fn ablation_balance(opts: &Options) {
         let s = sections.clone();
         let mut cfg = lulesh_proxy::LuleshConfig::timing(12, iters, 4);
         cfg.schedule = schedule;
-        cfg.cost_gradient = gradient.map(|m| lulesh_proxy::CostGradient {
-            max_multiplier: m,
-        });
+        cfg.cost_gradient = gradient.map(|m| lulesh_proxy::CostGradient { max_multiplier: m });
         let cfg = std::sync::Arc::new(cfg);
         mpisim::WorldBuilder::new(64)
             .machine(machine.clone())
@@ -773,7 +831,13 @@ fn isoefficiency(opts: &Options, runs: &[ConvRun]) {
         .map(|r| (r.p, speedup::total_overhead(seq_wall, r.wall, r.p)))
         .collect();
     let fitted = speedup::fit_overhead_power_law(&points);
-    let header = vec!["p", "overhead_s", "efficiency", "W_for_E50_s", "W_for_E80_s"];
+    let header = vec![
+        "p",
+        "overhead_s",
+        "efficiency",
+        "W_for_E50_s",
+        "W_for_E80_s",
+    ];
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
@@ -826,8 +890,7 @@ fn decomp_2d(opts: &Options) {
         }
         for p in [16usize, 64, 144] {
             for mode in ["1D", "2D"] {
-                let sections =
-                    mpi_sections::SectionRuntime::new(mpi_sections::VerifyMode::Off);
+                let sections = mpi_sections::SectionRuntime::new(mpi_sections::VerifyMode::Off);
                 let profiler = mpi_sections::SectionProfiler::new();
                 sections.attach(profiler.clone());
                 let s = sections.clone();

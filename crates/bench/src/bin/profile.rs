@@ -23,6 +23,10 @@
 //!   --compare-seq  also run the sequential baseline and print the
 //!                  per-section scaling comparison (Eq. 6 bounds vs a real
 //!                  baseline instead of the single-run proxy)
+//!   --check        attach the mpicheck correctness analyzer: deadlocks,
+//!                  collective divergence and wildcard-receive races are
+//!                  reported as structured diagnostics (exit code 1 on
+//!                  errors); a clean run prints "mpicheck: clean"
 //! ```
 
 use mpi_sections::{
@@ -44,6 +48,7 @@ struct Args {
     csv: Option<String>,
     profile_csv: Option<String>,
     compare_seq: bool,
+    check: bool,
 }
 
 fn parse() -> Args {
@@ -60,6 +65,7 @@ fn parse() -> Args {
         csv: None,
         profile_csv: None,
         compare_seq: false,
+        check: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -109,6 +115,10 @@ fn parse() -> Args {
                 args.compare_seq = true;
                 i += 1;
             }
+            "--check" => {
+                args.check = true;
+                i += 1;
+            }
             w if !w.starts_with("--") && args.workload.is_empty() => {
                 args.workload = w.to_string();
                 i += 1;
@@ -120,7 +130,7 @@ fn parse() -> Args {
         }
     }
     if args.workload.is_empty() {
-        eprintln!("usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] [--machine M] [--seed N] [--trace FILE] [--csv FILE]");
+        eprintln!("usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] [--machine M] [--seed N] [--trace FILE] [--csv FILE] [--check]");
         std::process::exit(2);
     }
     args
@@ -152,8 +162,25 @@ fn machine_by_name(name: &str) -> machine::MachineModel {
     }
 }
 
+/// Unwrap a run result, rendering structured diagnostics (from `--check`
+/// or section verification) as a report instead of a panic backtrace.
+fn unwrap_run<R>(result: Result<mpisim::RunReport<R>, mpisim::RunError>) -> mpisim::RunReport<R> {
+    match result {
+        Ok(report) => report,
+        Err(mpisim::RunError::Diagnosed(diags)) => {
+            eprintln!("{}", mpisim::diag::report(&diags));
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse();
+    let checker = args.check.then(mpicheck::Analyzer::new);
     let sections = SectionRuntime::new(VerifyMode::Active);
     let profiler = SectionProfiler::new();
     let trace = TraceTool::new();
@@ -168,14 +195,16 @@ fn main() {
             let m = resolve_machine(&args, "nehalem");
             let s = sections.clone();
             let cfg = Arc::new(convolution::ConvConfig::paper(args.steps));
-            let report = WorldBuilder::new(args.p)
+            let mut builder = WorldBuilder::new(args.p)
                 .machine(m.clone())
                 .seed(args.seed)
-                .tool(sections.clone())
-                .run(move |p| {
-                    convolution::run_convolution(p, &s, &cfg);
-                })
-                .expect("run failed");
+                .tool(sections.clone());
+            if let Some(checker) = &checker {
+                builder = builder.tool(checker.clone());
+            }
+            let report = unwrap_run(builder.run(move |p| {
+                convolution::run_convolution(p, &s, &cfg);
+            }));
             println!(
                 "convolution: p={}, {} steps, machine '{}', simulated walltime {:.3} s\n",
                 args.p,
@@ -200,14 +229,16 @@ fn main() {
                 args.iters,
                 args.threads,
             ));
-            let report = WorldBuilder::new(args.p)
+            let mut builder = WorldBuilder::new(args.p)
                 .machine(m.clone())
                 .seed(args.seed)
-                .tool(sections.clone())
-                .run(move |p| {
-                    lulesh_proxy::run_lulesh(p, &sr, &cfg);
-                })
-                .expect("run failed");
+                .tool(sections.clone());
+            if let Some(checker) = &checker {
+                builder = builder.tool(checker.clone());
+            }
+            let report = unwrap_run(builder.run(move |p| {
+                lulesh_proxy::run_lulesh(p, &sr, &cfg);
+            }));
             println!(
                 "lulesh: p={}, s={}, {} iterations, {} threads, machine '{}', simulated walltime {:.3} s\n",
                 args.p,
@@ -221,6 +252,15 @@ fn main() {
         other => {
             eprintln!("unknown workload '{other}' (conv|lulesh)");
             std::process::exit(2);
+        }
+    }
+
+    if let Some(checker) = &checker {
+        let warnings = checker.diagnostics();
+        if warnings.is_empty() {
+            println!("mpicheck: clean — no diagnostics\n");
+        } else {
+            println!("{}", mpisim::diag::report(&warnings));
         }
     }
 
@@ -278,11 +318,8 @@ fn main() {
                     .expect("baseline run failed");
             }
         }
-        let comparison = mpi_sections::ProfileComparison::between(
-            &base_profiler.snapshot(),
-            &profile,
-            args.p,
-        );
+        let comparison =
+            mpi_sections::ProfileComparison::between(&base_profiler.snapshot(), &profile, args.p);
         println!("{}", comparison.render());
         if let Some(binding) = comparison.binding() {
             println!(

@@ -75,12 +75,7 @@ pub fn measure_convolution(
 }
 
 /// One convolution run, returning the full section profile.
-pub fn conv_profile(
-    p: usize,
-    steps: usize,
-    machine: &MachineModel,
-    seed: u64,
-) -> (Profile, f64) {
+pub fn conv_profile(p: usize, steps: usize, machine: &MachineModel, seed: u64) -> (Profile, f64) {
     let sections = SectionRuntime::new(VerifyMode::Off);
     let profiler = SectionProfiler::new();
     sections.attach(profiler.clone());
@@ -198,7 +193,7 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         cells
             .iter()
             .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .map(|(c, w)| format!("{c:>w$}"))
             .collect::<Vec<_>>()
             .join("  ")
     };
@@ -262,13 +257,7 @@ mod tests {
     #[test]
     fn csv_roundtrip() {
         let dir = std::env::temp_dir().join("bench-csv-test");
-        let path = write_csv(
-            &dir,
-            "test",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        let path = write_csv(&dir, "test", &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
         std::fs::remove_file(path).ok();

@@ -114,11 +114,7 @@ pub struct ConvOutcome {
 
 /// Run the benchmark as the SPMD body of a rank. All ranks of the world
 /// communicator must call this with the same configuration.
-pub fn run_convolution(
-    p: &mut Proc,
-    sections: &SectionRuntime,
-    cfg: &ConvConfig,
-) -> ConvOutcome {
+pub fn run_convolution(p: &mut Proc, sections: &SectionRuntime, cfg: &ConvConfig) -> ConvOutcome {
     let world = p.world();
     let nranks = world.size();
     let rank = world.rank();
@@ -143,32 +139,29 @@ pub fn run_convolution(
 
     // ---- SCATTER: 1-D row split from rank 0. -----------------------------
     let mut band: Vec<f64> = Vec::new();
-    sections.scoped(p, &world, SECTION_SCATTER, |p| {
-        match cfg.fidelity {
-            Fidelity::Full => {
-                let chunks = (rank == 0).then(|| {
-                    let img = full_image.as_ref().expect("root loaded the image");
-                    (0..nranks)
-                        .map(|r| {
-                            let (s, e) = partition_rows(cfg.height, nranks, r);
-                            img.rows(s, e).to_vec()
-                        })
-                        .collect::<Vec<Vec<f64>>>()
-                });
-                band = world.scatterv(p, 0, chunks);
-            }
-            Fidelity::Timing => {
-                let counts = (rank == 0)
-                    .then(|| (0..nranks).map(|r| rows_of(r) * stride).collect::<Vec<_>>());
-                let _my_count = world.scatterv_virtual::<f64>(p, 0, counts);
-            }
+    sections.scoped(p, &world, SECTION_SCATTER, |p| match cfg.fidelity {
+        Fidelity::Full => {
+            let chunks = (rank == 0).then(|| {
+                let img = full_image.as_ref().expect("root loaded the image");
+                (0..nranks)
+                    .map(|r| {
+                        let (s, e) = partition_rows(cfg.height, nranks, r);
+                        img.rows(s, e).to_vec()
+                    })
+                    .collect::<Vec<Vec<f64>>>()
+            });
+            band = world.scatterv(p, 0, chunks);
+        }
+        Fidelity::Timing => {
+            let counts =
+                (rank == 0).then(|| (0..nranks).map(|r| rows_of(r) * stride).collect::<Vec<_>>());
+            let _my_count = world.scatterv_virtual::<f64>(p, 0, counts);
         }
     });
 
     // ---- Time-step loop: HALO exchange then CONVOLVE. --------------------
     let up = (rank > 0 && my_rows > 0 && rows_of(rank - 1) > 0).then(|| rank - 1);
-    let down =
-        (rank + 1 < nranks && my_rows > 0 && rows_of(rank + 1) > 0).then(|| rank + 1);
+    let down = (rank + 1 < nranks && my_rows > 0 && rows_of(rank + 1) > 0).then(|| rank + 1);
     let mut halo_top: Option<Vec<f64>> = None;
     let mut halo_bottom: Option<Vec<f64>> = None;
 
@@ -246,24 +239,22 @@ pub fn run_convolution(
 
     // ---- GATHER: collect bands back on rank 0. ----------------------------
     let mut outcome = ConvOutcome::default();
-    sections.scoped(p, &world, SECTION_GATHER, |p| {
-        match cfg.fidelity {
-            Fidelity::Full => {
-                let all = world.gatherv(p, 0, std::mem::take(&mut band));
-                if rank == 0 {
-                    let mut img = Image::zeros(cfg.width, cfg.height);
-                    let mut offset = 0;
-                    for chunk in all {
-                        img.data[offset..offset + chunk.len()].copy_from_slice(&chunk);
-                        offset += chunk.len();
-                    }
-                    outcome.checksum = Some(img.checksum());
-                    outcome.image = Some(img);
+    sections.scoped(p, &world, SECTION_GATHER, |p| match cfg.fidelity {
+        Fidelity::Full => {
+            let all = world.gatherv(p, 0, std::mem::take(&mut band));
+            if rank == 0 {
+                let mut img = Image::zeros(cfg.width, cfg.height);
+                let mut offset = 0;
+                for chunk in all {
+                    img.data[offset..offset + chunk.len()].copy_from_slice(&chunk);
+                    offset += chunk.len();
                 }
+                outcome.checksum = Some(img.checksum());
+                outcome.image = Some(img);
             }
-            Fidelity::Timing => {
-                let _ = world.gatherv_virtual::<f64>(p, 0, my_rows * stride);
-            }
+        }
+        Fidelity::Timing => {
+            let _ = world.gatherv_virtual::<f64>(p, 0, my_rows * stride);
         }
     });
 

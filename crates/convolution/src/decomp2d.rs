@@ -89,8 +89,8 @@ impl Tile {
 pub fn extract_tile(img: &Image, tile: &Tile) -> Vec<f64> {
     let mut out = Vec::with_capacity(tile.samples());
     for y in tile.row_start..tile.row_end {
-        let row = &img.data
-            [(y * img.width + tile.col_start) * CHANNELS..(y * img.width + tile.col_end) * CHANNELS];
+        let row = &img.data[(y * img.width + tile.col_start) * CHANNELS
+            ..(y * img.width + tile.col_end) * CHANNELS];
         out.extend_from_slice(row);
     }
     out
@@ -102,12 +102,12 @@ fn edge_of(tile: &[f64], rows: usize, cols: usize, dir: usize) -> Vec<f64> {
     let row = |r: usize| &tile[r * stride..(r + 1) * stride];
     let col = |c: usize| -> Vec<f64> {
         (0..rows)
-            .flat_map(|r| {
-                tile[(r * cols + c) * CHANNELS..(r * cols + c + 1) * CHANNELS].to_vec()
-            })
+            .flat_map(|r| tile[(r * cols + c) * CHANNELS..(r * cols + c + 1) * CHANNELS].to_vec())
             .collect()
     };
-    let px = |r: usize, c: usize| tile[(r * cols + c) * CHANNELS..(r * cols + c + 1) * CHANNELS].to_vec();
+    let px = |r: usize, c: usize| {
+        tile[(r * cols + c) * CHANNELS..(r * cols + c + 1) * CHANNELS].to_vec()
+    };
     match DIRS[dir] {
         (-1, 0) => row(0).to_vec(),
         (1, 0) => row(rows - 1).to_vec(),
@@ -132,18 +132,11 @@ fn edge_elems(rows: usize, cols: usize, dir: usize) -> usize {
 
 /// Build the (rows+2)×(cols+2) expanded tile from the tile plus received
 /// halos, clamping edges where no neighbour exists (global border).
-fn expand_tile(
-    tile: &[f64],
-    rows: usize,
-    cols: usize,
-    halos: &[Option<Vec<f64>>; 8],
-) -> Vec<f64> {
+fn expand_tile(tile: &[f64], rows: usize, cols: usize, halos: &[Option<Vec<f64>>; 8]) -> Vec<f64> {
     let ecols = cols + 2;
     let erows = rows + 2;
     let mut out = vec![0.0f64; erows * ecols * CHANNELS];
-    let src = |r: usize, c: usize| {
-        &tile[(r * cols + c) * CHANNELS..(r * cols + c + 1) * CHANNELS]
-    };
+    let src = |r: usize, c: usize| &tile[(r * cols + c) * CHANNELS..(r * cols + c + 1) * CHANNELS];
     // A closure writing one pixel of the expanded buffer.
     let mut put = |er: usize, ec: usize, px: &[f64]| {
         out[(er * ecols + ec) * CHANNELS..(er * ecols + ec + 1) * CHANNELS].copy_from_slice(px);
@@ -286,23 +279,25 @@ pub fn run_convolution_2d(
 
     // ---- SCATTER ----------------------------------------------------------
     let mut data: Vec<f64> = Vec::new();
-    sections.scoped(p, &world, crate::bench::SECTION_SCATTER, |p| match cfg.fidelity {
-        Fidelity::Full => {
-            let chunks = (rank == 0).then(|| {
-                let img = full_image.as_ref().expect("root loaded");
-                (0..nranks)
-                    .map(|r| extract_tile(img, &Tile::of(&grid, r, cfg.width, cfg.height)))
-                    .collect::<Vec<_>>()
-            });
-            data = world.scatterv(p, 0, chunks);
-        }
-        Fidelity::Timing => {
-            let counts = (rank == 0).then(|| {
-                (0..nranks)
-                    .map(|r| Tile::of(&grid, r, cfg.width, cfg.height).samples())
-                    .collect()
-            });
-            let _ = world.scatterv_virtual::<f64>(p, 0, counts);
+    sections.scoped(p, &world, crate::bench::SECTION_SCATTER, |p| {
+        match cfg.fidelity {
+            Fidelity::Full => {
+                let chunks = (rank == 0).then(|| {
+                    let img = full_image.as_ref().expect("root loaded");
+                    (0..nranks)
+                        .map(|r| extract_tile(img, &Tile::of(&grid, r, cfg.width, cfg.height)))
+                        .collect::<Vec<_>>()
+                });
+                data = world.scatterv(p, 0, chunks);
+            }
+            Fidelity::Timing => {
+                let counts = (rank == 0).then(|| {
+                    (0..nranks)
+                        .map(|r| Tile::of(&grid, r, cfg.width, cfg.height).samples())
+                        .collect()
+                });
+                let _ = world.scatterv_virtual::<f64>(p, 0, counts);
+            }
         }
     });
 
@@ -355,25 +350,28 @@ pub fn run_convolution_2d(
 
     // ---- GATHER -----------------------------------------------------------
     let mut outcome = ConvOutcome::default();
-    sections.scoped(p, &world, crate::bench::SECTION_GATHER, |p| match cfg.fidelity {
-        Fidelity::Full => {
-            let all = world.gatherv(p, 0, std::mem::take(&mut data));
-            if rank == 0 {
-                let mut img = Image::zeros(cfg.width, cfg.height);
-                for (r, chunk) in all.into_iter().enumerate() {
-                    let t = Tile::of(&grid, r, cfg.width, cfg.height);
-                    for (i, row) in (t.row_start..t.row_end).enumerate() {
-                        let src = &chunk[i * t.cols() * CHANNELS..(i + 1) * t.cols() * CHANNELS];
-                        let at = (row * cfg.width + t.col_start) * CHANNELS;
-                        img.data[at..at + src.len()].copy_from_slice(src);
+    sections.scoped(p, &world, crate::bench::SECTION_GATHER, |p| {
+        match cfg.fidelity {
+            Fidelity::Full => {
+                let all = world.gatherv(p, 0, std::mem::take(&mut data));
+                if rank == 0 {
+                    let mut img = Image::zeros(cfg.width, cfg.height);
+                    for (r, chunk) in all.into_iter().enumerate() {
+                        let t = Tile::of(&grid, r, cfg.width, cfg.height);
+                        for (i, row) in (t.row_start..t.row_end).enumerate() {
+                            let src =
+                                &chunk[i * t.cols() * CHANNELS..(i + 1) * t.cols() * CHANNELS];
+                            let at = (row * cfg.width + t.col_start) * CHANNELS;
+                            img.data[at..at + src.len()].copy_from_slice(src);
+                        }
                     }
+                    outcome.checksum = Some(img.checksum());
+                    outcome.image = Some(img);
                 }
-                outcome.checksum = Some(img.checksum());
-                outcome.image = Some(img);
             }
-        }
-        Fidelity::Timing => {
-            let _ = world.gatherv_virtual::<f64>(p, 0, tile.samples());
+            Fidelity::Timing => {
+                let _ = world.gatherv_virtual::<f64>(p, 0, tile.samples());
+            }
         }
     });
 
@@ -428,9 +426,12 @@ mod tests {
 
     #[test]
     fn distributed_2d_matches_reference_exactly() {
-        for (w, h, steps, nranks) in
-            [(17, 13, 3, 4), (16, 16, 2, 9), (10, 20, 2, 6), (12, 12, 4, 1)]
-        {
+        for (w, h, steps, nranks) in [
+            (17, 13, 3, 4),
+            (16, 16, 2, 9),
+            (10, 20, 2, 6),
+            (12, 12, 4, 1),
+        ] {
             let reference = Image::synthetic(w, h).mean_filter(steps);
             let outcome = run(nranks, ConvConfig::small(w, h, steps));
             assert_eq!(

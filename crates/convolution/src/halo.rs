@@ -57,7 +57,13 @@ pub fn ghost_ratio(n: usize, p: usize, ndims: usize, domain_dims: usize) -> f64 
 }
 
 /// Bytes exchanged per step per interior rank (ghost shell × cell bytes).
-pub fn halo_bytes_per_step(n: usize, p: usize, ndims: usize, domain_dims: usize, cell_bytes: usize) -> usize {
+pub fn halo_bytes_per_step(
+    n: usize,
+    p: usize,
+    ndims: usize,
+    domain_dims: usize,
+    cell_bytes: usize,
+) -> usize {
     let extents = block_extents(n, p, ndims, domain_dims);
     shell_cells(&extents) * cell_bytes
 }

@@ -165,9 +165,10 @@ impl Image {
         let height = parse(parts.next())?;
         let mut maxval = String::new();
         r.read_line(&mut maxval)?;
-        let maxval: f64 = maxval.trim().parse().map_err(|_| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad PPM maxval")
-        })?;
+        let maxval: f64 = maxval
+            .trim()
+            .parse()
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad PPM maxval"))?;
         let mut raw = vec![0u8; width * height * CHANNELS];
         r.read_exact(&mut raw)?;
         let data = raw.iter().map(|&b| b as f64 / maxval).collect();
@@ -218,7 +219,11 @@ mod tests {
 
     fn variance(img: &Image) -> f64 {
         let mean = img.checksum();
-        img.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / img.samples() as f64
+        img.data
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / img.samples() as f64
     }
 
     #[test]

@@ -19,8 +19,8 @@ pub mod image;
 pub mod stencil;
 
 pub use bench::{
-    partition_rows, run_convolution, ConvConfig, ConvOutcome, Fidelity, SECTIONS,
-    SECTION_CONVOLVE, SECTION_GATHER, SECTION_HALO, SECTION_LOAD, SECTION_SCATTER, SECTION_STORE,
+    partition_rows, run_convolution, ConvConfig, ConvOutcome, Fidelity, SECTIONS, SECTION_CONVOLVE,
+    SECTION_GATHER, SECTION_HALO, SECTION_LOAD, SECTION_SCATTER, SECTION_STORE,
 };
 pub use decomp2d::{run_convolution_2d, Tile};
 pub use halo::{ghost_ratio, halo_bytes_per_step, halo_table, HaloRow};
@@ -46,7 +46,10 @@ mod tests {
             .tool(sections.clone())
             .run(move |p| run_convolution(p, &s, &cfg))
             .unwrap();
-        (report.results.into_iter().next().unwrap(), profiler.snapshot())
+        (
+            report.results.into_iter().next().unwrap(),
+            profiler.snapshot(),
+        )
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl BalanceReport {
                 max_v = v;
             }
         }
-        let var = per_rank.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let var = per_rank
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n as f64;
         let gini = gini_coefficient(per_rank);
         Some(BalanceReport {
             label: label.to_string(),
@@ -76,7 +80,11 @@ impl BalanceReport {
             min: (min_r, min_v),
             max: (max_r, max_v),
             imbalance_factor: if mean > 0.0 { max_v / mean } else { 1.0 },
-            percent_imbalance: if max_v > 0.0 { (max_v - mean) / max_v } else { 0.0 },
+            percent_imbalance: if max_v > 0.0 {
+                (max_v - mean) / max_v
+            } else {
+                0.0
+            },
             gini,
             stddev_secs: var.sqrt(),
         })

@@ -202,7 +202,7 @@ mod tests {
         // Pure overhead: 0.5 s/rank -> program bound 16.
         assert!((comm.program_bound - 16.0).abs() < 1e-9);
         assert_eq!(comm.section_speedup, 0.0); // zero base / positive cost
-        // Binding: work (bound 8 < 16).
+                                               // Binding: work (bound 8 < 16).
         assert_eq!(cmp.binding().unwrap().label, "work");
     }
 

@@ -99,21 +99,19 @@ mod tests {
         let context = ContextTool::new();
         sections.attach(context.clone());
         let s = sections.clone();
-        let result = WorldBuilder::new(2)
-            .tool(sections.clone())
-            .run(move |p| {
-                let world = p.world();
-                s.enter(p, &world, "timeloop");
-                s.enter(p, &world, "HALO");
-                if p.world_rank() == 1 {
-                    panic!("segfault-equivalent");
-                }
-                // Rank 0 blocks on a message its dead peer never sends; the
-                // poisoned world unwinds it mid-section.
-                let _ = world.recv::<u8>(p, mpisim::Src::Rank(1), mpisim::TagSel::Any);
-                s.exit(p, &world, "HALO");
-                s.exit(p, &world, "timeloop");
-            });
+        let result = WorldBuilder::new(2).tool(sections.clone()).run(move |p| {
+            let world = p.world();
+            s.enter(p, &world, "timeloop");
+            s.enter(p, &world, "HALO");
+            if p.world_rank() == 1 {
+                panic!("segfault-equivalent");
+            }
+            // Rank 0 blocks on a message its dead peer never sends; the
+            // poisoned world unwinds it mid-section.
+            let _ = world.recv::<u8>(p, mpisim::Src::Rank(1), mpisim::TagSel::Any);
+            s.exit(p, &world, "HALO");
+            s.exit(p, &world, "timeloop");
+        });
         assert!(result.is_err());
         // The paper's §5.3 sentence, literally: both the crashed rank and
         // the one its death stranded are located semantically.
@@ -181,10 +179,7 @@ mod tests {
                 s.enter(p, &dup, "b");
                 // Cross-communicator exit order is free.
                 s.exit(p, &world, "a");
-                assert_eq!(
-                    ctx_inner.context_of(p.world_rank()).last().unwrap(),
-                    "b"
-                );
+                assert_eq!(ctx_inner.context_of(p.world_rank()).last().unwrap(), "b");
                 s.exit(p, &dup, "b");
             })
             .unwrap();

@@ -212,7 +212,7 @@ mod tests {
                 let world = p.world();
                 for i in 0..500u64 {
                     s.scoped(p, &world, "step", |p| {
-                        p.advance(VTime::from_nanos(1_000 + i))
+                        p.advance(VTime::from_nanos(1_000 + i));
                     });
                     s.scoped(p, &world, "sync", |p| p.advance(VTime::from_nanos(50)));
                 }

@@ -397,7 +397,9 @@ mod tests {
     fn sections_on_subcommunicators_are_distinct() {
         let profile = profile_of(4, |p, s| {
             let world = p.world();
-            let sub = world.split(p, Some((p.world_rank() % 2) as i32), 0).unwrap();
+            let sub = world
+                .split(p, Some((p.world_rank() % 2) as i32), 0)
+                .unwrap();
             s.scoped(p, &sub, "local", |p| p.advance_secs(1.0));
         });
         // Two sub-communicators -> two distinct "local" sections.

@@ -22,7 +22,9 @@
 
 use crate::tool::{EnterInfo, LeaveInfo, SectionTool};
 use machine::VTime;
-use mpisim::{Comm, CommId, MpiEvent, Proc, SectionData, Tool};
+use mpisim::{
+    diag, Comm, CommId, Diagnostic, DiagnosticKind, MpiEvent, Proc, SectionData, Severity, Tool,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -63,6 +65,9 @@ struct RankComms {
     stacks: HashMap<CommId, Vec<Frame>>,
     /// Occurrence counters per (communicator, label).
     occurrences: HashMap<(CommId, Arc<str>), u64>,
+    /// Count of section events (enters + exits) this rank performed, over
+    /// all communicators — the event index carried by misuse diagnostics.
+    events: u64,
 }
 
 /// One record of the shared verification log.
@@ -229,10 +234,8 @@ impl SectionRuntime {
         let (occurrence, depth) = {
             let mut shard = self.shards[world_rank % SHARDS].lock();
             let rc = shard.entry(world_rank).or_default();
-            let counter = rc
-                .occurrences
-                .entry((comm.id, label.clone()))
-                .or_insert(0);
+            rc.events += 1;
+            let counter = rc.occurrences.entry((comm.id, label.clone())).or_insert(0);
             let occurrence = *counter;
             *counter += 1;
             let stack = rc.stacks.entry(comm.id).or_default();
@@ -274,30 +277,41 @@ impl SectionRuntime {
         }
     }
 
-    fn exit_at(
-        &self,
-        world_rank: usize,
-        comm: CommInfo,
-        label: &str,
-        now: VTime,
-    ) -> SectionData {
+    fn exit_at(&self, world_rank: usize, comm: CommInfo, label: &str, now: VTime) -> SectionData {
         let label: Arc<str> = Arc::from(label);
         self.verify_step(world_rank, comm.id, VerifyEvent::Exit(label.clone()));
         let (frame, depth) = {
             let mut shard = self.shards[world_rank % SHARDS].lock();
             let rc = shard.entry(world_rank).or_default();
+            let event_index = rc.events;
+            rc.events += 1;
             let stack = rc.stacks.entry(comm.id).or_default();
+            let open: Vec<String> = stack.iter().map(|f| f.label.to_string()).collect();
             let frame = stack.pop().unwrap_or_else(|| {
-                panic!(
-                    "mpi-sections: exit of '{label}' on rank {world_rank} with no open section"
+                section_misuse(
+                    world_rank,
+                    comm.id,
+                    open.clone(),
+                    event_index,
+                    format!(
+                        "mpi-sections: exit of '{label}' on rank {world_rank} \
+                         with no open section"
+                    ),
                 )
             });
-            assert_eq!(
-                frame.label, label,
-                "mpi-sections: imperfect nesting on rank {world_rank}: \
-                 exiting '{label}' but innermost open section is '{}'",
-                frame.label
-            );
+            if frame.label != label {
+                section_misuse(
+                    world_rank,
+                    comm.id,
+                    open,
+                    event_index,
+                    format!(
+                        "mpi-sections: imperfect nesting on rank {world_rank}: \
+                         exiting '{label}' but innermost open section is '{}'",
+                        frame.label
+                    ),
+                );
+            }
             let duration = now - frame.enter;
             // Credit our inclusive duration to the parent's child time.
             if let Some(parent) = stack.last_mut() {
@@ -340,15 +354,56 @@ impl SectionRuntime {
                 *pos < cv.log.len(),
                 "mpi-sections: verification position overran the log"
             );
-            assert_eq!(
-                cv.log[*pos], event,
-                "mpi-sections: section order violation on rank {world_rank}: \
-                 expected {:?} at step {pos}, got {event:?}",
-                cv.log[*pos]
-            );
+            if cv.log[*pos] != event {
+                let message = format!(
+                    "mpi-sections: section order violation on rank {world_rank}: \
+                     expected {:?} at step {pos}, got {event:?}",
+                    cv.log[*pos]
+                );
+                let (label_stack, event_index) = self.rank_snapshot(world_rank, comm);
+                section_misuse(world_rank, comm, label_stack, event_index, message);
+            }
         }
         *pos += 1;
     }
+
+    /// Open labels on `comm` plus the rank's next section-event index
+    /// (misuse-diagnostic context). Lock order is `verify_state` → shard,
+    /// consistently with the callers.
+    fn rank_snapshot(&self, world_rank: usize, comm: CommId) -> (Vec<String>, u64) {
+        let shard = self.shards[world_rank % SHARDS].lock();
+        match shard.get(&world_rank) {
+            Some(rc) => {
+                let labels = rc
+                    .stacks
+                    .get(&comm)
+                    .map(|s| s.iter().map(|f| f.label.to_string()).collect())
+                    .unwrap_or_default();
+                (labels, rc.events)
+            }
+            None => (Vec::new(), 0),
+        }
+    }
+}
+
+/// Abort the calling rank with a [`DiagnosticKind::SectionMisuse`] finding.
+fn section_misuse(
+    world_rank: usize,
+    comm: CommId,
+    label_stack: Vec<String>,
+    event_index: u64,
+    message: String,
+) -> ! {
+    diag::abort_with(vec![Diagnostic {
+        kind: DiagnosticKind::SectionMisuse {
+            label_stack,
+            event_index,
+        },
+        severity: Severity::Error,
+        ranks: vec![world_rank],
+        comm: Some(comm),
+        message,
+    }]);
 }
 
 #[derive(Clone, Copy)]
@@ -392,6 +447,27 @@ impl Tool for SectionRuntime {
             }
             _ => {}
         }
+    }
+
+    /// When a rank panics, report its open-section stacks so the failure
+    /// message carries the phase the rank died in.
+    fn rank_context(&self, world_rank: usize) -> Option<String> {
+        let shard = self.shards[world_rank % SHARDS].lock();
+        let rc = shard.get(&world_rank)?;
+        let mut parts: Vec<String> = rc
+            .stacks
+            .iter()
+            .filter(|(_, stack)| !stack.is_empty())
+            .map(|(comm, stack)| {
+                let labels: Vec<&str> = stack.iter().map(|f| &*f.label).collect();
+                format!("comm {}: {}", comm.0, labels.join(" > "))
+            })
+            .collect();
+        if parts.is_empty() {
+            return None;
+        }
+        parts.sort();
+        Some(format!("open sections: {}", parts.join("; ")))
     }
 }
 
@@ -441,6 +517,55 @@ mod tests {
             s.exit(p, &world, "phantom");
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn imperfect_nesting_yields_structured_diagnostic() {
+        let sections = SectionRuntime::new(VerifyMode::Off);
+        let s = sections.clone();
+        let err = WorldBuilder::new(1)
+            .run(move |p| {
+                let world = p.world();
+                s.enter(p, &world, "a");
+                s.enter(p, &world, "b");
+                s.exit(p, &world, "a");
+            })
+            .unwrap_err();
+        let diags = err.diagnostics();
+        assert_eq!(diags.len(), 1, "{err}");
+        let d = &diags[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.ranks, vec![0]);
+        assert_eq!(d.comm, Some(CommId::WORLD));
+        match &d.kind {
+            DiagnosticKind::SectionMisuse {
+                label_stack,
+                event_index,
+            } => {
+                assert_eq!(label_stack, &["a".to_string(), "b".to_string()]);
+                // Two enters precede the offending exit.
+                assert_eq!(*event_index, 2);
+            }
+            other => panic!("expected SectionMisuse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_carries_open_section_stack() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let s = sections.clone();
+        let err = WorldBuilder::new(1)
+            .tool(sections.clone())
+            .run(move |p| {
+                let world = p.world();
+                s.enter(p, &world, "phase");
+                panic!("boom");
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("open sections"), "{msg}");
+        assert!(msg.contains("MPI_MAIN > phase"), "{msg}");
     }
 
     #[test]
@@ -499,7 +624,9 @@ mod tests {
         WorldBuilder::new(4)
             .run(move |p| {
                 let world = p.world();
-                let sub = world.split(p, Some((p.world_rank() % 2) as i32), 0).unwrap();
+                let sub = world
+                    .split(p, Some((p.world_rank() % 2) as i32), 0)
+                    .unwrap();
                 s.enter(p, &world, "global");
                 s.enter(p, &sub, "local");
                 // Independent stacks: exit order across comms is free.

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timer that
+//! prints mean time per iteration. No statistics, plots, or HTML reports;
+//! enough to keep `cargo bench` compiling and producing usable numbers
+//! without network access to crates.io.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a benched
+/// computation whose result is otherwise unused.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; `--bench` etc. are flags added by the harness.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Work-per-iteration annotation (reported as a rate when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if !self.criterion.matches(&id.id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        // One untimed warm-up pass, then the timed samples.
+        routine(&mut bencher, input);
+        bencher.total = Duration::ZERO;
+        bencher.iters = 0;
+        for _ in 0..self.sample_size {
+            routine(&mut bencher, input);
+        }
+        bencher.report(&id.id, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with no per-benchmark input.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.criterion.matches(id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        routine(&mut bencher);
+        bencher.total = Duration::ZERO;
+        bencher.iters = 0;
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+        bencher.report(id, self.throughput);
+        self
+    }
+
+    /// End the group (kept for API parity; printing is incremental).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mean = self.total / u32::try_from(self.iters).unwrap_or(u32::MAX);
+        let rate = throughput.map(|t| {
+            let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:>12.0} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => format!("  {:>12.0} B/s", per_sec(n)),
+            }
+        });
+        println!(
+            "{id:<40} {mean:>12.3?}/iter over {} samples{}",
+            self.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(4));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| {
+            b.iter(|| x * 2);
+            calls += 1;
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, ()| {
+            b.iter(|| ());
+            calls += 1;
+        });
+        assert_eq!(calls, 0);
+    }
+}

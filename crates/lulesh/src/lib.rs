@@ -22,8 +22,7 @@ pub mod physics;
 pub mod sim;
 
 pub use config::{
-    size_for, table7, CostGradient, Fidelity, LuleshConfig, PAPER_ITERATIONS,
-    PAPER_TOTAL_ELEMENTS,
+    size_for, table7, CostGradient, Fidelity, LuleshConfig, PAPER_ITERATIONS, PAPER_TOTAL_ELEMENTS,
 };
 pub use mesh::{Decomposition, FaceGhosts, Field3};
 pub use physics::State;
@@ -64,7 +63,10 @@ mod tests {
         let e1 = out1[0].global_energy.as_ref().unwrap();
         let e8 = out8[0].global_energy.as_ref().unwrap();
         assert_eq!(e1.s, e8.s);
-        assert_eq!(e1.data, e8.data, "p=1 and p=8 evolutions must agree exactly");
+        assert_eq!(
+            e1.data, e8.data,
+            "p=1 and p=8 evolutions must agree exactly"
+        );
         // dt sequences agreed too.
         assert_eq!(out1[0].final_dt, out8[0].final_dt);
     }
@@ -109,7 +111,10 @@ mod tests {
         let (_, profile) = run(1, LuleshConfig::timing(16, 20, 1), machine::presets::knl());
         let timeloop = profile.get_world("timeloop").unwrap().total_own_secs;
         let nodal = profile.get_world("LagrangeNodal").unwrap().total_own_secs;
-        let elements = profile.get_world("LagrangeElements").unwrap().total_own_secs;
+        let elements = profile
+            .get_world("LagrangeElements")
+            .unwrap()
+            .total_own_secs;
         let share = (nodal + elements) / timeloop;
         assert!(share > 0.85, "Lagrange share {share}");
         // Single-threaded, the nodal phase (stress + hourglass) carries
@@ -195,7 +200,11 @@ mod tests {
             .get_world("ApplyMaterialPropertiesForElems")
             .unwrap();
         let balance = mpi_sections::BalanceReport::for_section(eos).unwrap();
-        assert!(balance.imbalance_factor < 1.01, "{}", balance.imbalance_factor);
+        assert!(
+            balance.imbalance_factor < 1.01,
+            "{}",
+            balance.imbalance_factor
+        );
     }
 
     #[test]
@@ -226,9 +235,13 @@ mod tests {
     #[test]
     fn gradient_preserves_decomposition_independence() {
         let mut c1 = LuleshConfig::small(8, 4);
-        c1.cost_gradient = Some(CostGradient { max_multiplier: 3.0 });
+        c1.cost_gradient = Some(CostGradient {
+            max_multiplier: 3.0,
+        });
         let mut c8 = LuleshConfig::small(4, 4);
-        c8.cost_gradient = Some(CostGradient { max_multiplier: 3.0 });
+        c8.cost_gradient = Some(CostGradient {
+            max_multiplier: 3.0,
+        });
         let (out1, _) = run(1, c1, machine::presets::ideal());
         let (out8, _) = run(8, c8, machine::presets::ideal());
         assert_eq!(

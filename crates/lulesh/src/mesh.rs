@@ -245,7 +245,7 @@ mod tests {
         assert_eq!(xlow[0], 0.0);
         assert_eq!(xlow[1], 10.0); // j=1, k=0
         assert_eq!(xlow[3], 100.0); // j=0, k=1
-        // z-high face: k = 2.
+                                    // z-high face: k = 2.
         let zhigh = f.face(2, 1);
         assert_eq!(zhigh[0], 200.0);
         assert_eq!(zhigh[1], 201.0); // i=1, j=0

@@ -138,13 +138,7 @@ pub fn integrate_stress(state: &mut State, i: usize, j: usize, k: usize) {
 
 /// `CalcHourglassControlForElems`: viscosity-like damping from local
 /// pressure roughness (face-neighbour stencil over ghosts).
-pub fn hourglass_control(
-    state: &mut State,
-    ghosts: &FaceGhosts,
-    i: usize,
-    j: usize,
-    k: usize,
-) {
+pub fn hourglass_control(state: &mut State, ghosts: &FaceGhosts, i: usize, j: usize, k: usize) {
     let p0 = state.p.get(i, j, k);
     let mut rough = 0.0;
     for axis in 0..3 {

@@ -228,7 +228,7 @@ pub fn run_lulesh(p: &mut Proc, sections: &SectionRuntime, cfg: &LuleshConfig) -
                             Some(st) => {
                                 let u = &mut st.u;
                                 team.parallel_for_uniform(p, n_nodes, work, |idx| {
-                                    physics::node_velocity(&mut u[idx], dt)
+                                    physics::node_velocity(&mut u[idx], dt);
                                 });
                             }
                             None => {
@@ -243,7 +243,7 @@ pub fn run_lulesh(p: &mut Proc, sections: &SectionRuntime, cfg: &LuleshConfig) -
                             Some(st) => {
                                 let (u, xd) = (&st.u, &mut st.xd);
                                 team.parallel_for_uniform(p, n_nodes, work, |idx| {
-                                    physics::node_position(&mut xd[idx], u[idx], dt)
+                                    physics::node_position(&mut xd[idx], u[idx], dt);
                                 });
                             }
                             None => {

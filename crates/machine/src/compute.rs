@@ -92,7 +92,11 @@ impl ComputeModel {
         } else {
             0.0
         };
-        let t_bytes = if work.bytes > 0.0 { work.bytes / bw } else { 0.0 };
+        let t_bytes = if work.bytes > 0.0 {
+            work.bytes / bw
+        } else {
+            0.0
+        };
         t_flops.max(t_bytes)
     }
 

@@ -61,8 +61,7 @@ impl MachineModel {
                 message,
             };
             let parse_f64 = |v: &str| -> Result<f64, ConfigError> {
-                v.parse()
-                    .map_err(|_| err(format!("'{v}' is not a number")))
+                v.parse().map_err(|_| err(format!("'{v}' is not a number")))
             };
             let parse_usize = |v: &str| -> Result<usize, ConfigError> {
                 v.parse()
@@ -82,9 +81,7 @@ impl MachineModel {
                 "flops_per_sec" => m.compute.core.flops_per_sec = parse_f64(value)?,
                 "smt_efficiency" => m.compute.core.smt_efficiency = parse_f64(value)?,
                 "node_bandwidth" => m.compute.memory.node_bandwidth = parse_f64(value)?,
-                "per_thread_bandwidth" => {
-                    m.compute.memory.per_thread_bandwidth = parse_f64(value)?
-                }
+                "per_thread_bandwidth" => m.compute.memory.per_thread_bandwidth = parse_f64(value)?,
                 "intra.latency" => m.network.intra_node.latency = parse_f64(value)?,
                 "intra.bandwidth" => m.network.intra_node.bandwidth = parse_f64(value)?,
                 "intra.overhead" => m.network.intra_node.overhead = parse_f64(value)?,
@@ -98,7 +95,7 @@ impl MachineModel {
                 "omp.dynamic_per_chunk" => m.omp.dynamic_per_chunk = parse_f64(value)?,
                 "noise.compute_sigma" => m.noise.compute_sigma = parse_f64(value)?,
                 "noise.net_latency_jitter_mean" => {
-                    m.noise.net_latency_jitter_mean = parse_f64(value)?
+                    m.noise.net_latency_jitter_mean = parse_f64(value)?;
                 }
                 other => {
                     return Err(err(format!("unknown key '{other}'")));
@@ -180,10 +177,9 @@ mod tests {
 
     #[test]
     fn parse_minimal_config() {
-        let m = MachineModel::from_config_str(
-            "name = tiny\ncores_per_node = 4\nflops_per_sec = 1e9\n",
-        )
-        .unwrap();
+        let m =
+            MachineModel::from_config_str("name = tiny\ncores_per_node = 4\nflops_per_sec = 1e9\n")
+                .unwrap();
         assert_eq!(m.name, "tiny");
         assert_eq!(m.cores_per_node, 4);
         assert_eq!(m.compute.core.flops_per_sec, 1e9);
@@ -193,10 +189,9 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let m = MachineModel::from_config_str(
-            "# a cluster\n\nname = c1  # trailing comment\n\n  \n",
-        )
-        .unwrap();
+        let m =
+            MachineModel::from_config_str("# a cluster\n\nname = c1  # trailing comment\n\n  \n")
+                .unwrap();
         assert_eq!(m.name, "c1");
     }
 
@@ -248,8 +243,7 @@ mod tests {
     #[test]
     fn file_loading_errors_are_reported() {
         let err =
-            MachineModel::from_config_file(std::path::Path::new("/no/such/file.mach"))
-                .unwrap_err();
+            MachineModel::from_config_file(std::path::Path::new("/no/such/file.mach")).unwrap_err();
         assert_eq!(err.line, 0);
         assert!(err.message.contains("cannot read"));
     }

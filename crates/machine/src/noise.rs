@@ -202,7 +202,9 @@ mod tests {
             net_latency_jitter_mean: 0.0,
         };
         let mut rng = DetRng::for_stream(4, 0, 0);
-        let mut samples: Vec<f64> = (0..10_001).map(|_| noise.compute_factor(&mut rng)).collect();
+        let mut samples: Vec<f64> = (0..10_001)
+            .map(|_| noise.compute_factor(&mut rng))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[5_000];
         assert!((median - 1.0).abs() < 0.01, "median {median}");

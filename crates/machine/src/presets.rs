@@ -268,9 +268,7 @@ mod tests {
         let m = nehalem_cluster();
         let px = 5616.0 * 3744.0 * 3.0;
         let flops_per_step = px * 9.0 * 2.0;
-        let secs =
-            m.compute
-                .seconds_for(Work::flops(flops_per_step), 1, 1) * 1000.0;
+        let secs = m.compute.seconds_for(Work::flops(flops_per_step), 1, 1) * 1000.0;
         // Paper: 5589.84 s total sequential section time. Within 10%.
         assert!(
             (secs - 5589.84).abs() / 5589.84 < 0.10,

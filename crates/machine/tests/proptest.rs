@@ -1,9 +1,7 @@
 //! Property tests for the machine-model layer: virtual-time arithmetic,
 //! cost-model monotonicity, and noise-stream determinism.
 
-use machine::{
-    presets, CollectiveCost, DetRng, LinkModel, NoiseModel, Topology, VTime, Work,
-};
+use machine::{presets, CollectiveCost, DetRng, LinkModel, NoiseModel, Topology, VTime, Work};
 use proptest::prelude::*;
 
 proptest! {
@@ -76,10 +74,10 @@ proptest! {
         let small = CollectiveCost { link: &link, p };
         let large = CollectiveCost { link: &link, p: p * 2 };
         for f in [
-            |c: &CollectiveCost, b: usize| c.bcast(b),
-            |c: &CollectiveCost, b: usize| c.allreduce(b),
-            |c: &CollectiveCost, b: usize| c.allgather(b),
-            |c: &CollectiveCost, _| c.barrier(),
+            |c: &CollectiveCost<'_>, b: usize| c.bcast(b),
+            |c: &CollectiveCost<'_>, b: usize| c.allreduce(b),
+            |c: &CollectiveCost<'_>, b: usize| c.allgather(b),
+            |c: &CollectiveCost<'_>, _| c.barrier(),
         ] {
             let s = f(&small, bytes);
             let l = f(&large, bytes);

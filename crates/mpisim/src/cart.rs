@@ -93,8 +93,7 @@ impl CartComm {
             self.comm.isend(p, nbr, up_tag, high_data).wait(p);
         }
         let from_low = low.map(|nbr| self.comm.recv(p, Src::Rank(nbr), TagSel::Is(up_tag)));
-        let from_high =
-            high.map(|nbr| self.comm.recv(p, Src::Rank(nbr), TagSel::Is(down_tag)));
+        let from_high = high.map(|nbr| self.comm.recv(p, Src::Rank(nbr), TagSel::Is(down_tag)));
         (from_low, from_high)
     }
 
@@ -166,10 +165,7 @@ mod tests {
                 let cart = CartComm::balanced(p.world(), 1);
                 let me = [p.world_rank() as u32];
                 let (from_low, from_high) = cart.shift_exchange(p, 0, 7, &me, &me);
-                (
-                    from_low.map(|m| m.data[0]),
-                    from_high.map(|m| m.data[0]),
-                )
+                (from_low.map(|m| m.data[0]), from_high.map(|m| m.data[0]))
             })
             .unwrap();
         assert_eq!(report.results[0], (None, Some(1)));
@@ -184,8 +180,7 @@ mod tests {
         // post-sends-first pattern must complete and wrap values around.
         let report = WorldBuilder::new(3)
             .run(|p| {
-                let cart =
-                    CartComm::new(p.world(), CartGrid::new_periodic(vec![3], vec![true]));
+                let cart = CartComm::new(p.world(), CartGrid::new_periodic(vec![3], vec![true]));
                 let me = [p.world_rank() as u32];
                 let (fl, fh) = cart.shift_exchange(p, 0, 7, &me, &me);
                 (fl.map(|m| m.data[0]), fh.map(|m| m.data[0]))

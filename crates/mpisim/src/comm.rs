@@ -17,7 +17,7 @@
 //!   operation by the rendezvous machinery.
 
 use crate::collective::{Done, Rendezvous, Slot};
-use crate::event::{CommId, MpiCall};
+use crate::event::{CommId, MpiCall, MpiEvent};
 use crate::message::{Envelope, Payload, Src, TagSel};
 use crate::proc::Proc;
 use machine::{DetRng, Topology, VTime};
@@ -66,11 +66,7 @@ impl Registry {
     }
 
     /// Create a communicator with a caller-derived (deterministic) id.
-    pub(crate) fn register_with_id(
-        &self,
-        id: CommId,
-        world_ranks: Vec<usize>,
-    ) -> Arc<CommShared> {
+    pub(crate) fn register_with_id(&self, id: CommId, world_ranks: Vec<usize>) -> Arc<CommShared> {
         let spans_nodes = self.topology.spans_nodes(&world_ranks);
         let shared = Arc::new(CommShared {
             id,
@@ -249,6 +245,16 @@ impl Comm {
             seq: p.seq.fetch_add(1, Ordering::Relaxed),
             payload,
         };
+        // Raised before the deposit becomes visible: an analyzer's
+        // in-flight set then always covers what receivers can match.
+        p.raise(MpiEvent::SendEnqueued {
+            comm: self.id(),
+            dst_local: dest,
+            dst_world: dest_world,
+            tag,
+            seq: envelope.seq,
+            time: p.now,
+        });
         p.mailboxes.of(dest_world).deposit(envelope);
         bytes
     }
@@ -261,10 +267,34 @@ impl Comm {
                 self.size()
             );
         }
-        let envelope =
-            p.mailboxes
-                .of(p.world_rank)
-                .take_matching(self.id(), src, tag, &p.mailboxes.poison);
+        let observing = !p.tools.is_empty();
+        if observing {
+            p.raise(MpiEvent::RecvBlocked {
+                comm: self.id(),
+                src,
+                tag,
+                members: self.shared.world_ranks.clone(),
+                time: p.now,
+            });
+        }
+        let (envelope, candidates) = p.mailboxes.of(p.world_rank).take_matching_observed(
+            self.id(),
+            src,
+            tag,
+            &p.mailboxes.poison,
+            observing,
+        );
+        if observing {
+            p.raise(MpiEvent::RecvMatched {
+                comm: self.id(),
+                src_local: envelope.src_local,
+                src_world: envelope.src_world,
+                tag: envelope.tag,
+                seq: envelope.seq,
+                candidates,
+                time: p.now,
+            });
+        }
         let topo = p.machine.topology;
         let link = p
             .machine
@@ -395,11 +425,14 @@ impl Comm {
     // ------------------------------------------------------------------
 
     /// Synchronize at the rendezvous; returns the generation record with
-    /// the rank's clock already advanced to the common exit time.
+    /// the rank's clock already advanced to the common exit time. `root` is
+    /// the root's local rank for rooted collectives (tool-visible only —
+    /// timing does not depend on it).
     fn sync<F>(
         &self,
         p: &mut Proc,
         op: &'static str,
+        root: Option<usize>,
         my_bytes: u64,
         slot: Slot,
         cost: F,
@@ -412,6 +445,15 @@ impl Comm {
         let seed = p.seed;
         let cid = self.shared.id;
         let psize = self.size();
+        // Raised before `arrive`: an analyzer sees the rank as (possibly)
+        // blocked in the collective before the rendezvous can park it.
+        p.raise(MpiEvent::CollectiveEnter {
+            op,
+            comm: cid,
+            members: self.shared.world_ranks.clone(),
+            root,
+            time: p.now,
+        });
         let (gen, done) = self.shared.rendezvous.arrive(
             self.local_rank,
             op,
@@ -424,14 +466,18 @@ impl Comm {
                 // Namespaced so collective streams never collide with the
                 // per-rank (seed, rank, {0,1,2}) streams — comm id 0 and
                 // world rank 0 would otherwise share seeds.
-                let mut rng =
-                    DetRng::for_stream(seed ^ 0x636f_6c6c_6563_7469, cid.0, view.gen);
+                let mut rng = DetRng::for_stream(seed ^ 0x636f_6c6c_6563_7469, cid.0, view.gen);
                 let jitter = machine.noise.latency_jitter(&mut rng);
                 view.max_entry() + VTime::from_secs_f64(base + jitter)
             },
             &p.mailboxes.poison,
         );
         p.now = done.exit;
+        p.raise(MpiEvent::CollectiveExit {
+            op,
+            comm: cid,
+            time: p.now,
+        });
         (gen, done)
     }
 
@@ -442,7 +488,7 @@ impl Comm {
     /// Barrier over the communicator.
     pub fn barrier(&self, p: &mut Proc) {
         p.tool_call_enter(MpiCall::Barrier, self.id());
-        let (gen, done) = self.sync(p, "barrier", 0, None, |cc, _| cc.barrier());
+        let (gen, done) = self.sync(p, "barrier", None, 0, None, |cc, _| cc.barrier());
         self.finish(gen, &done);
         p.tool_call_exit(MpiCall::Barrier, self.id(), 0);
     }
@@ -470,12 +516,14 @@ impl Comm {
             ),
             None => (0, None),
         };
-        let (gen, done) = self.sync(p, "bcast", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "bcast", Some(root), my_bytes, slot, |cc, total| {
             cc.bcast(total as usize)
         });
         let out = {
             let slots = done.slots.lock();
-            let any = slots[root].as_ref().expect("mpisim: bcast root slot missing");
+            let any = slots[root]
+                .as_ref()
+                .expect("mpisim: bcast root slot missing");
             any.downcast_ref::<Vec<T>>()
                 .expect("mpisim: bcast datatype mismatch")
                 .clone()
@@ -503,7 +551,7 @@ impl Comm {
             ),
             None => (0, None),
         };
-        let (gen, done) = self.sync(p, "bcast", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "bcast", Some(root), my_bytes, slot, |cc, total| {
             cc.bcast(total as usize)
         });
         let n = {
@@ -544,7 +592,11 @@ impl Comm {
         p.tool_call_enter(MpiCall::Scatterv, self.id());
         let (my_bytes, slot): (u64, Slot) = match chunks {
             Some(cs) => {
-                assert_eq!(cs.len(), self.size(), "mpisim: scatterv needs one chunk per rank");
+                assert_eq!(
+                    cs.len(),
+                    self.size(),
+                    "mpisim: scatterv needs one chunk per rank"
+                );
                 let total: usize = cs.iter().map(|c| c.len()).sum();
                 let boxed: Vec<Option<Vec<T>>> = cs.into_iter().map(Some).collect();
                 (
@@ -554,12 +606,14 @@ impl Comm {
             }
             None => (0, None),
         };
-        let (gen, done) = self.sync(p, "scatterv", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "scatterv", Some(root), my_bytes, slot, |cc, total| {
             cc.scatter(total as usize)
         });
         let mine = {
             let mut slots = done.slots.lock();
-            let any = slots[root].as_mut().expect("mpisim: scatterv root slot missing");
+            let any = slots[root]
+                .as_mut()
+                .expect("mpisim: scatterv root slot missing");
             let chunks = any
                 .downcast_mut::<Vec<Option<Vec<T>>>>()
                 .expect("mpisim: scatterv datatype mismatch");
@@ -624,7 +678,7 @@ impl Comm {
             }
             None => (0, None),
         };
-        let (gen, done) = self.sync(p, "scatterv", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "scatterv", Some(root), my_bytes, slot, |cc, total| {
             cc.scatter(total as usize)
         });
         let mine = {
@@ -655,7 +709,7 @@ impl Comm {
         p.tool_call_enter(MpiCall::Gatherv, self.id());
         let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let slot: Slot = Some(Box::new(data));
-        let (gen, done) = self.sync(p, "gatherv", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "gatherv", Some(root), my_bytes, slot, |cc, total| {
             cc.gather(total as usize)
         });
         let out = if self.local_rank == root {
@@ -695,7 +749,7 @@ impl Comm {
         p.tool_call_enter(MpiCall::Gatherv, self.id());
         let my_bytes = (elems * std::mem::size_of::<T>()) as u64;
         let slot: Slot = Some(Box::new(elems as u64));
-        let (gen, done) = self.sync(p, "gatherv", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "gatherv", Some(root), my_bytes, slot, |cc, total| {
             cc.gather(total as usize)
         });
         let out: Vec<usize> = if self.local_rank == root {
@@ -730,7 +784,7 @@ impl Comm {
         let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let slot: Slot = Some(Box::new(data));
         let psize = self.size();
-        let (gen, done) = self.sync(p, "allgather", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "allgather", None, my_bytes, slot, |cc, total| {
             cc.allgather((total as usize) / psize.max(1))
         });
         let out: Vec<Vec<T>> = {
@@ -767,7 +821,7 @@ impl Comm {
         let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let psize = self.size();
         let slot: Slot = Some(Box::new(data));
-        let (gen, done) = self.sync(p, "reduce", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "reduce", Some(root), my_bytes, slot, |cc, total| {
             cc.reduce((total as usize) / psize.max(1))
         });
         let out = if self.local_rank == root {
@@ -790,7 +844,7 @@ impl Comm {
         let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let psize = self.size();
         let slot: Slot = Some(Box::new(data));
-        let (gen, done) = self.sync(p, "allreduce", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "allreduce", None, my_bytes, slot, |cc, total| {
             cc.allreduce((total as usize) / psize.max(1))
         });
         let out = Self::fold_slots(&done, psize, &op);
@@ -860,7 +914,7 @@ impl Comm {
         let psize = self.size();
         let boxed: Vec<Option<Vec<T>>> = chunks.into_iter().map(Some).collect();
         let slot: Slot = Some(Box::new(boxed));
-        let (gen, done) = self.sync(p, "alltoall", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "alltoall", None, my_bytes, slot, |cc, total| {
             cc.alltoall((total as usize) / (psize * psize).max(1))
         });
         let out: Vec<Vec<T>> = {
@@ -897,7 +951,7 @@ impl Comm {
         let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let psize = self.size();
         let slot: Slot = Some(Box::new(data));
-        let (gen, done) = self.sync(p, "exscan", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "exscan", None, my_bytes, slot, |cc, total| {
             cc.scan((total as usize) / psize.max(1))
         });
         let out = {
@@ -939,14 +993,13 @@ impl Comm {
         p.tool_call_enter(MpiCall::Reduce, self.id());
         let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let slot: Slot = Some(Box::new(data));
-        let (gen, done) = self.sync(p, "reduce_scatter", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "reduce_scatter", None, my_bytes, slot, |cc, total| {
             // Same communication volume class as an allreduce of one block.
             cc.allreduce((total as usize) / (psize * psize).max(1))
         });
         let full = Self::fold_slots::<T, F>(&done, psize, &op);
         self.finish(gen, &done);
-        let out: Vec<T> =
-            full[self.local_rank * block..(self.local_rank + 1) * block].to_vec();
+        let out: Vec<T> = full[self.local_rank * block..(self.local_rank + 1) * block].to_vec();
         p.tool_call_exit(MpiCall::Reduce, self.id(), my_bytes);
         out
     }
@@ -962,7 +1015,7 @@ impl Comm {
         let my_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let psize = self.size();
         let slot: Slot = Some(Box::new(data));
-        let (gen, done) = self.sync(p, "scan", my_bytes, slot, |cc, total| {
+        let (gen, done) = self.sync(p, "scan", None, my_bytes, slot, |cc, total| {
             cc.scan((total as usize) / psize.max(1))
         });
         let out = {
@@ -1002,7 +1055,7 @@ impl Comm {
 
         // Phase 1: exchange (color, key) pairs; costed as a barrier.
         let slot: Slot = Some(Box::new((color, key)));
-        let (xgen, done) = self.sync(p, "split.exchange", 0, slot, |cc, _| cc.barrier());
+        let (xgen, done) = self.sync(p, "split.exchange", None, 0, slot, |cc, _| cc.barrier());
         let gen = xgen;
         let pairs: Vec<(Option<i32>, i32)> = {
             let slots = done.slots.lock();
@@ -1054,14 +1107,17 @@ impl Comm {
                         machine::noise::mix64(self.shared.id.0 ^ (xgen << 24))
                             ^ (*c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                     ) | (1 << 63);
-                    (*c, p.registry.register_with_id(CommId(derived), world_ranks))
+                    (
+                        *c,
+                        p.registry.register_with_id(CommId(derived), world_ranks),
+                    )
                 })
                 .collect();
             Some(Box::new(created))
         } else {
             None
         };
-        let (gen, done) = self.sync(p, "split.create", 0, slot, |cc, _| cc.barrier());
+        let (gen, done) = self.sync(p, "split.create", None, 0, slot, |cc, _| cc.barrier());
         let result = color.and_then(|my_color| {
             let slots = done.slots.lock();
             let created = slots[0]

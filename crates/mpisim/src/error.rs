@@ -5,7 +5,13 @@
 //! handler of every real MPI. The launch harness catches rank panics,
 //! poisons the world so blocked peers unwind instead of deadlocking, and
 //! surfaces the first failure as a [`RunError`].
+//!
+//! Correctness tools report through a richer channel: they abort with
+//! structured [`Diagnostic`]s (see [`crate::diag`]) and the harness returns
+//! [`RunError::Diagnosed`] carrying the full findings instead of an opaque
+//! panic string.
 
+use crate::diag::{self, Diagnostic};
 use std::fmt;
 
 /// Why a simulated run failed.
@@ -16,6 +22,19 @@ pub enum RunError {
     RankPanicked { rank: usize, message: String },
     /// The run was configured with zero ranks.
     NoRanks,
+    /// A correctness tool aborted the run with structured findings
+    /// (deduplicated, in report order).
+    Diagnosed(Vec<Diagnostic>),
+}
+
+impl RunError {
+    /// The diagnostics carried by a [`RunError::Diagnosed`], if any.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            RunError::Diagnosed(diags) => diags,
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -25,6 +44,15 @@ impl fmt::Display for RunError {
                 write!(f, "rank {rank} failed: {message}")
             }
             RunError::NoRanks => write!(f, "world must have at least one rank"),
+            RunError::Diagnosed(diags) => {
+                write!(
+                    f,
+                    "run aborted with {} diagnostic{}:\n{}",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" },
+                    diag::report(diags).trim_end()
+                )
+            }
         }
     }
 }
@@ -46,6 +74,27 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(e.to_string(), "rank 3 failed: boom");
-        assert_eq!(RunError::NoRanks.to_string(), "world must have at least one rank");
+        assert_eq!(
+            RunError::NoRanks.to_string(),
+            "world must have at least one rank"
+        );
+    }
+
+    #[test]
+    fn diagnosed_display_includes_messages() {
+        let d = Diagnostic {
+            kind: crate::diag::DiagnosticKind::SectionMisuse {
+                label_stack: vec!["a".into()],
+                event_index: 2,
+            },
+            severity: crate::diag::Severity::Error,
+            ranks: vec![1],
+            comm: None,
+            message: "imperfect nesting on rank 1".into(),
+        };
+        let e = RunError::Diagnosed(vec![d.clone()]);
+        assert!(e.to_string().contains("imperfect nesting on rank 1"));
+        assert_eq!(e.diagnostics(), &[d]);
+        assert!(RunError::NoRanks.diagnostics().is_empty());
     }
 }

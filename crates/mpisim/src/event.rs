@@ -7,6 +7,7 @@
 //! for the `MPIX_Section_enter/leave` notifications of the paper (Fig. 2),
 //! including their 32-byte tool data blob.
 
+use crate::message::{Src, TagSel};
 use machine::VTime;
 use std::sync::Arc;
 
@@ -147,6 +148,69 @@ pub enum MpiEvent {
     /// semantics are tool-defined (the IPM phase-outlining mechanism the
     /// paper compares against in §6).
     Pcontrol { level: i32, time: VTime },
+    /// An eager send deposited a message into the destination's mailbox.
+    /// Raised on the *sender's* thread, before the deposit becomes visible
+    /// to the receiver, so an analyzer's in-flight set is always a superset
+    /// of the mailboxes' actual content.
+    SendEnqueued {
+        comm: CommId,
+        /// Destination rank, local to `comm`.
+        dst_local: usize,
+        /// Destination world rank.
+        dst_world: usize,
+        tag: i32,
+        /// Global message sequence number; pairs with
+        /// [`MpiEvent::RecvMatched::seq`].
+        seq: u64,
+        time: VTime,
+    },
+    /// A blocking receive is about to wait for a matching message. Raised
+    /// before the rank can block; the matching [`MpiEvent::RecvMatched`]
+    /// follows once a message is consumed.
+    RecvBlocked {
+        comm: CommId,
+        src: Src,
+        tag: TagSel,
+        /// World ranks of `comm`'s members, indexed by local rank (the
+        /// potential senders an analyzer must consider for `Src::Any`).
+        members: Arc<Vec<usize>>,
+        time: VTime,
+    },
+    /// A blocking receive matched and consumed a message.
+    RecvMatched {
+        comm: CommId,
+        /// Sender rank, local to `comm`.
+        src_local: usize,
+        /// Sender world rank.
+        src_world: usize,
+        tag: i32,
+        /// Sequence number of the consumed message.
+        seq: u64,
+        /// Every in-flight message that matched the receive selectors at
+        /// the instant of consumption, as `(sender world rank, tag)`. More
+        /// than one distinct sender under `Src::Any` is a message race.
+        candidates: Vec<(usize, i32)>,
+        time: VTime,
+    },
+    /// The rank arrived at a collective rendezvous and may block until the
+    /// other members arrive.
+    CollectiveEnter {
+        /// Rendezvous operation label (e.g. `"barrier"`, `"bcast"`,
+        /// `"split.exchange"`).
+        op: &'static str,
+        comm: CommId,
+        /// World ranks of `comm`'s members, indexed by local rank.
+        members: Arc<Vec<usize>>,
+        /// Root rank (local to `comm`) for rooted collectives.
+        root: Option<usize>,
+        time: VTime,
+    },
+    /// The rank left the collective rendezvous (all members arrived).
+    CollectiveExit {
+        op: &'static str,
+        comm: CommId,
+        time: VTime,
+    },
 }
 
 impl MpiEvent {
@@ -159,7 +223,12 @@ impl MpiEvent {
             | MpiEvent::CallExit { time, .. }
             | MpiEvent::SectionEnter { time, .. }
             | MpiEvent::SectionLeave { time, .. }
-            | MpiEvent::Pcontrol { time, .. } => *time,
+            | MpiEvent::Pcontrol { time, .. }
+            | MpiEvent::SendEnqueued { time, .. }
+            | MpiEvent::RecvBlocked { time, .. }
+            | MpiEvent::RecvMatched { time, .. }
+            | MpiEvent::CollectiveEnter { time, .. }
+            | MpiEvent::CollectiveExit { time, .. } => *time,
         }
     }
 }
@@ -198,5 +267,26 @@ mod tests {
             time: VTime::from_nanos(9),
         };
         assert_eq!(e.time(), VTime::from_nanos(9));
+    }
+
+    #[test]
+    fn analyzer_event_times() {
+        let members = Arc::new(vec![0usize, 1]);
+        let e = MpiEvent::RecvBlocked {
+            comm: CommId::WORLD,
+            src: Src::Any,
+            tag: TagSel::Any,
+            members: members.clone(),
+            time: VTime::from_nanos(3),
+        };
+        assert_eq!(e.time(), VTime::from_nanos(3));
+        let e = MpiEvent::CollectiveEnter {
+            op: "barrier",
+            comm: CommId::WORLD,
+            members,
+            root: None,
+            time: VTime::from_nanos(5),
+        };
+        assert_eq!(e.time(), VTime::from_nanos(5));
     }
 }

@@ -42,6 +42,7 @@
 pub mod cart;
 pub mod collective;
 pub mod comm;
+pub mod diag;
 pub mod error;
 pub mod event;
 pub mod mailbox;
@@ -52,7 +53,8 @@ pub mod topo;
 pub mod world;
 
 pub use cart::CartComm;
-pub use comm::{waitall, Comm, Recvd, RecvReq, SendReq};
+pub use comm::{waitall, Comm, RecvReq, Recvd, SendReq};
+pub use diag::{BlockedSite, Diagnostic, DiagnosticKind, Severity};
 pub use error::RunError;
 pub use event::{CommId, MpiCall, MpiEvent, SectionData};
 pub use message::{Payload, Src, TagSel};

@@ -68,11 +68,36 @@ impl Mailbox {
     /// Block until a message matching `(comm, src, tag)` is present and
     /// remove it. Unwinds if the world gets poisoned while waiting.
     pub fn take_matching(&self, comm: CommId, src: Src, tag: TagSel, poison: &Poison) -> Envelope {
+        self.take_matching_observed(comm, src, tag, poison, false).0
+    }
+
+    /// Like [`Mailbox::take_matching`], but when `observe` is set also
+    /// report every queued message that matched the selectors at the
+    /// instant of consumption, as `(sender world rank, tag)` pairs — the
+    /// candidate set a race analyzer needs, computed under the queue lock
+    /// so it is exact.
+    pub fn take_matching_observed(
+        &self,
+        comm: CommId,
+        src: Src,
+        tag: TagSel,
+        poison: &Poison,
+        observe: bool,
+    ) -> (Envelope, Vec<(usize, i32)>) {
         let mut queue = self.queue.lock();
         loop {
             poison.check();
             if let Some(pos) = queue.iter().position(|e| e.matches(comm, src, tag)) {
-                return queue.remove(pos);
+                let candidates = if observe {
+                    queue
+                        .iter()
+                        .filter(|e| e.matches(comm, src, tag))
+                        .map(|e| (e.src_world, e.tag))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                return (queue.remove(pos), candidates);
             }
             self.arrived.wait(&mut queue);
         }
@@ -183,6 +208,24 @@ mod tests {
         let e = mb.take_matching(CommId::WORLD, Src::Rank(2), TagSel::Any, &poison);
         assert_eq!(e.src_local, 2);
         assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn observed_take_reports_all_candidates() {
+        let mb = Mailbox::default();
+        let poison = Poison::default();
+        mb.deposit(envelope(1, 5, 0));
+        mb.deposit(envelope(2, 5, 1));
+        mb.deposit(envelope(3, 9, 2)); // non-matching tag
+        let (e, candidates) =
+            mb.take_matching_observed(CommId::WORLD, Src::Any, TagSel::Is(5), &poison, true);
+        assert_eq!(e.seq, 0, "arrival order wins");
+        assert_eq!(candidates, vec![(1, 5), (2, 5)]);
+        // Without observation the candidate list stays empty.
+        let (e, candidates) =
+            mb.take_matching_observed(CommId::WORLD, Src::Any, TagSel::Any, &poison, false);
+        assert_eq!(e.seq, 1);
+        assert!(candidates.is_empty());
     }
 
     #[test]

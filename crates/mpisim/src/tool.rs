@@ -17,6 +17,14 @@ pub trait Tool: Send + Sync {
     /// Called once after the run completes (all ranks joined), with the
     /// number of ranks. Default: no-op.
     fn on_run_complete(&self, _nranks: usize) {}
+
+    /// A short description of this tool's per-rank context — e.g. the
+    /// rank's open-section stack — appended to
+    /// [`RunError::RankPanicked`](crate::RunError::RankPanicked) messages
+    /// when that rank fails. Default: no context.
+    fn rank_context(&self, _world_rank: usize) -> Option<String> {
+        None
+    }
 }
 
 /// The ordered set of tools attached to a world.
@@ -57,6 +65,15 @@ impl ToolSet {
         for tool in self.tools.iter() {
             tool.on_run_complete(nranks);
         }
+    }
+
+    /// Collect every tool's context for a failing rank, in registration
+    /// order (used to enrich `RankPanicked` messages).
+    pub fn rank_context(&self, world_rank: usize) -> Vec<String> {
+        self.tools
+            .iter()
+            .filter_map(|t| t.rank_context(world_rank))
+            .collect()
     }
 }
 
@@ -99,12 +116,7 @@ mod tests {
     fn empty_set() {
         let set = ToolSet::new();
         assert!(set.is_empty());
-        set.raise(
-            0,
-            &MpiEvent::Finalize {
-                time: VTime::ZERO,
-            },
-        );
+        set.raise(0, &MpiEvent::Finalize { time: VTime::ZERO });
         set.complete(4);
     }
 }

@@ -7,6 +7,7 @@
 //! reported as a [`RunError`].
 
 use crate::comm::{CommShared, Registry};
+use crate::diag::{self, Diagnostic};
 use crate::error::{RunError, POISONED_MSG};
 use crate::event::MpiEvent;
 use crate::mailbox::{MailboxSet, Poison};
@@ -76,7 +77,7 @@ impl WorldBuilder {
         let seq = Arc::new(AtomicU64::new(0));
         let seed = self.seed;
 
-        let outcomes: Vec<Result<(R, VTime), String>> = std::thread::scope(|scope| {
+        let outcomes: Vec<Result<(R, VTime), RankFailure>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..nranks)
                 .map(|rank| {
                     let machine = machine.clone();
@@ -91,33 +92,46 @@ impl WorldBuilder {
                             rank,
                             nranks,
                             machine,
-                            tools,
+                            tools.clone(),
                             mailboxes.clone(),
                             registry.clone(),
                             seq,
                             seed,
                             world_shared,
                         );
-                        proc.raise(MpiEvent::Init {
-                            size: nranks,
-                            time: proc.now(),
-                        });
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || f(&mut proc),
-                        ));
-                        match result {
-                            Ok(value) => {
-                                proc.raise(MpiEvent::Finalize { time: proc.now() });
-                                Ok((value, proc.now()))
+                        // Init/Finalize raises stay inside the unwind net:
+                        // a tool aborting at either event must produce a
+                        // RunError, not crash the thread outright.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            proc.raise(MpiEvent::Init {
+                                size: nranks,
+                                time: proc.now(),
+                            });
+                            let value = f(&mut proc);
+                            proc.raise(MpiEvent::Finalize { time: proc.now() });
+                            (value, proc.now())
+                        }));
+                        result.map_err(|payload| {
+                            // Poison before extracting the message so
+                            // blocked peers wake promptly.
+                            mailboxes.poison_all();
+                            registry.wake_all();
+                            // Unwinding stayed on this thread, so any
+                            // diagnostics deposited by `diag::abort_with`
+                            // are in this thread's channel.
+                            let diagnostics = diag::take_pending();
+                            let mut message = panic_message(payload);
+                            if message != POISONED_MSG && diagnostics.is_empty() {
+                                let context = tools.rank_context(rank);
+                                if !context.is_empty() {
+                                    message = format!("{message} [{}]", context.join("; "));
+                                }
                             }
-                            Err(payload) => {
-                                // Poison before extracting the message so
-                                // blocked peers wake promptly.
-                                mailboxes.poison_all();
-                                registry.wake_all();
-                                Err(panic_message(payload))
+                            RankFailure {
+                                message,
+                                diagnostics,
                             }
-                        }
+                        })
                     })
                 })
                 .collect();
@@ -129,27 +143,32 @@ impl WorldBuilder {
 
         let mut results = Vec::with_capacity(nranks);
         let mut final_times = Vec::with_capacity(nranks);
-        let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut failures: Vec<(usize, RankFailure)> = Vec::new();
         for (rank, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok((value, time)) => {
                     results.push(value);
                     final_times.push(time);
                 }
-                Err(message) => failures.push((rank, message)),
+                Err(failure) => failures.push((rank, failure)),
             }
         }
         if !failures.is_empty() {
+            // Structured findings take precedence over raw panic strings.
+            let diagnostics: Vec<Diagnostic> = failures
+                .iter()
+                .flat_map(|(_, f)| f.diagnostics.iter().cloned())
+                .collect();
+            if !diagnostics.is_empty() {
+                return Err(RunError::Diagnosed(diag::dedup(diagnostics)));
+            }
             // Report the root cause, not the poison-induced unwinds of the
             // peers that were blocked when the world went down.
             let (rank, message) = failures
                 .iter()
-                .find(|(_, m)| m != POISONED_MSG)
-                .cloned()
-                .unwrap_or_else(|| {
-                    let (rank, _) = failures[0].clone();
-                    (rank, "poisoned (root cause lost)".into())
-                });
+                .find(|(_, f)| f.message != POISONED_MSG)
+                .map(|(rank, f)| (*rank, f.message.clone()))
+                .unwrap_or_else(|| (failures[0].0, "poisoned (root cause lost)".into()));
             return Err(RunError::RankPanicked { rank, message });
         }
         tools.complete(nranks);
@@ -160,6 +179,12 @@ impl WorldBuilder {
             makespan,
         })
     }
+}
+
+/// What a failed rank thread hands back to the harness.
+struct RankFailure {
+    message: String,
+    diagnostics: Vec<Diagnostic>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

@@ -139,7 +139,10 @@ fn blocked_receiver_unwinds_when_sender_fails() {
         }
         let _ = world.recv::<u8>(p, Src::Rank(0), TagSel::Any);
     });
-    assert!(matches!(result, Err(RunError::RankPanicked { rank: 0, .. })));
+    assert!(matches!(
+        result,
+        Err(RunError::RankPanicked { rank: 0, .. })
+    ));
 }
 
 #[test]
@@ -189,7 +192,9 @@ fn nested_splits_work() {
     let report = WorldBuilder::new(8)
         .run(|p| {
             let world = p.world();
-            let half = world.split(p, Some((p.world_rank() / 4) as i32), 0).unwrap();
+            let half = world
+                .split(p, Some((p.world_rank() / 4) as i32), 0)
+                .unwrap();
             let quarter = half.split(p, Some((half.rank() / 2) as i32), 0).unwrap();
             let sum = quarter.allreduce(p, vec![p.world_rank() as u64], |a, b| a + b)[0];
             (quarter.size(), sum)

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach a registry, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro (with
+//! `proptest_config`), `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`,
+//! `any::<T>()`, range/tuple/`Just` strategies, `prop::collection::vec`,
+//! `prop_map`, `prop_recursive`, and boxed strategies.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! - **No shrinking.** A failing case panics immediately with the normal
+//!   assertion message. Inputs are derived from a per-property seed
+//!   (property name + case index), so failures reproduce exactly on rerun.
+//! - **`prop_assert*` panics** instead of returning `Err`, which is
+//!   indistinguishable to the test harness.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property, reporting the generated case on
+/// failure (by panicking — this stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            panic!(concat!("property assertion failed: ", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format_args!($($fmt)+),
+                l,
+                r
+            );
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run $config:expr;
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut proptest_rng,
+                        );
+                    )*
+                    let _ = &proptest_rng;
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @run $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Doc comments and multi-arg signatures parse.
+        #[test]
+        fn generated_inputs_respect_strategies(
+            x in 1u32..100,
+            flag in any::<bool>(),
+            v in prop::collection::vec(0u8..4, 0..10),
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert!(v.len() < 10, "len {} out of range", v.len());
+            prop_assert_eq!(v.iter().filter(|&&b| b < 4).count(), v.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(choice in prop_oneof![
+            Just(0usize),
+            (1usize..5).prop_map(|n| n * 10),
+        ]) {
+            prop_assert!(choice == 0 || (10..50).contains(&choice));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property assertion failed")]
+    fn failing_assertion_panics() {
+        prop_assert_eq!(1 + 1, 3);
+    }
+}

@@ -133,13 +133,7 @@ impl AdaptiveTeam {
 
     /// Run a timing-only uniform region under the adaptive policy;
     /// returns the region seconds charged.
-    pub fn for_cost_uniform(
-        &mut self,
-        p: &mut Proc,
-        label: &str,
-        n: usize,
-        per_item: Work,
-    ) -> f64 {
+    pub fn for_cost_uniform(&mut self, p: &mut Proc, label: &str, n: usize, per_item: Work) -> f64 {
         let max = self.max_threads;
         let state = self
             .state
@@ -309,9 +303,7 @@ mod tests {
                 let mut adaptive = AdaptiveTeam::new(8);
                 let mut seen = vec![0u8; 50];
                 for _ in 0..5 {
-                    adaptive.parallel_for_uniform(p, "k", 50, Work::flops(1.0), |i| {
-                        seen[i] += 1
-                    });
+                    adaptive.parallel_for_uniform(p, "k", 50, Work::flops(1.0), |i| seen[i] += 1);
                 }
                 seen
             })

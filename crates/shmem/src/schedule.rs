@@ -6,8 +6,7 @@
 //! bookkeeping priced by `OmpModel::dynamic_secs`.
 
 /// An OpenMP-style loop schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Schedule {
     /// Contiguous blocks of ~n/t iterations (OpenMP `schedule(static)`).
     #[default]
@@ -22,7 +21,6 @@ pub enum Schedule {
     /// to dynamic with roughly `4·t` chunks of bookkeeping.
     Guided,
 }
-
 
 impl Schedule {
     /// The contiguous range of iterations thread `tid` executes under a

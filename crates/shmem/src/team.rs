@@ -1,7 +1,7 @@
 //! Thread teams and parallel regions.
 
 use crate::schedule::Schedule;
-use machine::{Work};
+use machine::Work;
 use mpisim::Proc;
 
 /// A thread team: the simulated equivalent of `#pragma omp parallel`.
@@ -142,7 +142,13 @@ impl Team {
 
     /// Parallel loop with uniform per-iteration cost; the body executes
     /// sequentially for every index (full-fidelity mode).
-    pub fn parallel_for_uniform<F>(&self, p: &mut Proc, n: usize, per_item: Work, mut body: F) -> f64
+    pub fn parallel_for_uniform<F>(
+        &self,
+        p: &mut Proc,
+        n: usize,
+        per_item: Work,
+        mut body: F,
+    ) -> f64
     where
         F: FnMut(usize),
     {
@@ -352,9 +358,8 @@ mod tests {
     fn reduce_is_deterministic_and_correct() {
         let m = presets::ideal();
         let total = run1(m, |p| {
-            Team::new(8).parallel_reduce_uniform(p, 1000, Work::flops(1.0), 0u64, |acc, i| {
-                acc + i as u64
-            })
+            Team::new(8)
+                .parallel_reduce_uniform(p, 1000, Work::flops(1.0), 0u64, |acc, i| acc + i as u64)
         });
         assert_eq!(total, 499_500);
     }

@@ -149,8 +149,14 @@ mod tests {
     fn rms_error_detects_model_mismatch() {
         // Data that saturates harder than any Amdahl curve (a hard cap):
         // the best fit still carries visible error.
-        let points: Vec<(usize, f64)> =
-            vec![(2, 2.0), (4, 4.0), (8, 8.0), (16, 8.0), (64, 8.0), (256, 8.0)];
+        let points: Vec<(usize, f64)> = vec![
+            (2, 2.0),
+            (4, 4.0),
+            (8, 8.0),
+            (16, 8.0),
+            (64, 8.0),
+            (256, 8.0),
+        ];
         let fs = fit_amdahl_serial_fraction(&points).unwrap();
         let err = amdahl_rms_rel_error(fs, &points);
         assert!(err > 0.05, "err={err}");

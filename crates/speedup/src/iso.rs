@@ -34,7 +34,11 @@ pub fn efficiency_from_overhead(seq_secs: f64, overhead_secs: f64) -> f64 {
 /// ```
 pub fn required_work(e_target: f64, overhead_secs: f64) -> f64 {
     if e_target >= 1.0 {
-        return if overhead_secs > 0.0 { f64::INFINITY } else { 0.0 };
+        return if overhead_secs > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
     }
     if e_target <= 0.0 {
         return 0.0;

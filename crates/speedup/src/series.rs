@@ -57,10 +57,7 @@ impl ScalingSeries {
 
     /// Time at exactly `p`, if measured.
     pub fn at(&self, p: usize) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|pt| pt.p == p)
-            .map(|pt| pt.secs)
+        self.points.iter().find(|pt| pt.p == p).map(|pt| pt.secs)
     }
 
     /// The baseline: the time at the smallest `p` (normally `p = 1`).

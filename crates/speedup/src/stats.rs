@@ -77,9 +77,9 @@ impl RepStats {
 /// (table through 30, then the normal limit).
 fn t95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -125,8 +125,12 @@ mod tests {
     #[test]
     fn interval_shrinks_with_repetitions() {
         // Alternating samples: same stddev estimate, more reps -> tighter.
-        let few: Vec<f64> = (0..4).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
-        let many: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
+        let few: Vec<f64> = (0..4)
+            .map(|i| if i % 2 == 0 { 9.0 } else { 11.0 })
+            .collect();
+        let many: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 9.0 } else { 11.0 })
+            .collect();
         let sf = RepStats::from_samples(&few).unwrap();
         let sm = RepStats::from_samples(&many).unwrap();
         assert!(sm.ci95 < sf.ci95);

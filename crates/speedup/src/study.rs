@@ -195,11 +195,7 @@ impl ScalingStudy {
         }
         if let Some(last) = self.walltime.points().last() {
             if let Some((label, bound)) = self.binding_at(last.p) {
-                let measured = self
-                    .speedups()
-                    .last()
-                    .map(|(_, s)| *s)
-                    .unwrap_or(0.0);
+                let measured = self.speedups().last().map(|(_, s)| *s).unwrap_or(0.0);
                 out.push_str(&format!(
                     "\nat p = {}: measured S = {measured:.2}, binding section '{label}' \
                      caps S <= {bound:.2}\n",

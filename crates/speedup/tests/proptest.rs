@@ -2,8 +2,8 @@
 //! order relations between the classical laws and the partial bounds.
 
 use proptest::prelude::*;
+use speedup::ScalingSeries;
 use speedup::{efficiency, karp_flatt, laws, partial_bound, partial_bound_per_process, speedup};
-use speedup::{ScalingSeries};
 
 proptest! {
     #[test]

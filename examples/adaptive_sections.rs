@@ -90,7 +90,10 @@ fn main() {
     };
     let (fb, fs) = totals(&fixed_profile);
     let (ab, a_small) = totals(&adaptive_profile);
-    println!("{:<22} {fixed_wall:>12.3} {fb:>14.3} {fs:>16.3}", "fixed (128 threads)");
+    println!(
+        "{:<22} {fixed_wall:>12.3} {fb:>14.3} {fs:>16.3}",
+        "fixed (128 threads)"
+    );
     println!(
         "{:<22} {adaptive_wall:>12.3} {ab:>14.3} {a_small:>16.3}",
         "adaptive"

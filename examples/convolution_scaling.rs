@@ -7,9 +7,9 @@
 //! cargo run --release --example convolution_scaling [steps]
 //! ```
 
+use mpisim::WorldBuilder;
 use speedup_repro::convolution::{run_convolution, ConvConfig, SECTIONS};
 use speedup_repro::sections::{SectionProfiler, SectionRuntime, VerifyMode};
-use mpisim::WorldBuilder;
 use std::sync::Arc;
 
 fn main() {

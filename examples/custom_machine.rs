@@ -76,7 +76,11 @@ fn measure(machine: &MachineModel, p: usize, steps: usize) -> (f64, f64, f64) {
 fn main() {
     let fat = MachineModel::from_config_str(FAT_NODES).expect("valid config");
     let thin = MachineModel::from_config_str(THIN_NODES).expect("valid config");
-    println!("option A: {}\noption B: {}\n", fat.describe(), thin.describe());
+    println!(
+        "option A: {}\noption B: {}\n",
+        fat.describe(),
+        thin.describe()
+    );
 
     let steps = 100;
     println!(

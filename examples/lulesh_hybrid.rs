@@ -7,9 +7,9 @@
 //! cargo run --release --example lulesh_hybrid [iterations]
 //! ```
 
+use mpisim::WorldBuilder;
 use speedup_repro::lulesh::{run_lulesh, size_for, LuleshConfig, PAPER_TOTAL_ELEMENTS};
 use speedup_repro::sections::{SectionProfiler, SectionRuntime, VerifyMode};
-use mpisim::WorldBuilder;
 use std::sync::Arc;
 
 fn measure(p: usize, threads: usize, iterations: usize) -> (f64, f64, f64) {

@@ -76,7 +76,10 @@ fn main() {
 
     // Compare against measured speedups at larger scales. SERIAL's
     // per-process time cannot shrink with p, so its bound transposes.
-    println!("{:>6} {:>10} {:>10} {:>22}", "p", "wall (s)", "speedup", "within SERIAL bound?");
+    println!(
+        "{:>6} {:>10} {:>10} {:>22}",
+        "p", "wall (s)", "speedup", "within SERIAL bound?"
+    );
     for p in [8usize, 16, 32, 64, 128] {
         let (_, wall) = run_at(p);
         let s = seq_wall / wall;
@@ -87,7 +90,11 @@ fn main() {
             .unwrap();
         println!(
             "{p:>6} {wall:>10.2} {s:>10.2} {:>22}",
-            if s <= serial_bound { "yes" } else { "NO (check model)" }
+            if s <= serial_bound {
+                "yes"
+            } else {
+                "NO (check model)"
+            }
         );
     }
     println!(

@@ -99,7 +99,11 @@ fn main() {
                     });
                     s.scoped(p, &world, "solve", |p| {
                         // Step 1 is pathological on rank 2.
-                        let f = if step == 1 && p.world_rank() == 2 { 6.0 } else { 1.0 };
+                        let f = if step == 1 && p.world_rank() == 2 {
+                            6.0
+                        } else {
+                            1.0
+                        };
                         p.compute(Work::flops(2.0e7 * f));
                         world.barrier(p);
                     });

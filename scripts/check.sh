@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), tests.
+# Run from anywhere; operates on the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

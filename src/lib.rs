@@ -13,6 +13,8 @@
 //!   noise) and the calibrated presets.
 //! * [`mpisim`] — the virtual-time MPI-like runtime with PMPI-style tool
 //!   hooks.
+//! * [`mpicheck`] — the correctness analyzer tool: deadlock, collective
+//!   divergence, wildcard-race and section-misuse diagnostics.
 //! * [`shmem`] — the OpenMP-like fork-join model.
 //! * [`sections`] — the paper's `MPI_Section` abstraction, callback
 //!   interface and profiler (crate `mpi-sections`).
@@ -25,6 +27,7 @@ pub use convolution;
 pub use lulesh_proxy as lulesh;
 pub use machine;
 pub use mpi_sections as sections;
+pub use mpicheck;
 pub use mpisim;
 pub use shmem;
 pub use speedup;

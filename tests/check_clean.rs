@@ -1,0 +1,98 @@
+//! The mpicheck analyzer is a pure observer: attaching it to well-formed
+//! workloads — the quickstart example's program and the §5.1 convolution
+//! benchmark — yields zero diagnostics and bit-identical virtual-time
+//! results.
+
+use machine::{presets, Work};
+use mpicheck::Analyzer;
+use mpisim::{Src, TagSel, WorldBuilder};
+use speedup_repro::convolution::{run_convolution, ConvConfig};
+use speedup_repro::sections::{SectionRuntime, VerifyMode};
+use std::sync::Arc;
+
+/// The SPMD program of `examples/quickstart.rs`, verbatim.
+fn quickstart_times(analyzer: Option<Arc<Analyzer>>) -> Vec<machine::VTime> {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let s = sections.clone();
+    let mut builder = WorldBuilder::new(8)
+        .machine(presets::nehalem_cluster())
+        .seed(42)
+        .tool(sections.clone());
+    if let Some(a) = analyzer {
+        builder = builder.tool(a);
+    }
+    let report = builder
+        .run(move |p| {
+            let world = p.world();
+            let rank = p.world_rank();
+            let n = p.world_size();
+            for step in 0..20 {
+                s.scoped(p, &world, "COMPUTE", |p| {
+                    let slow = if rank == 3 { 2.0 } else { 1.0 };
+                    p.compute(Work::flops(2.0e8 * slow));
+                });
+                s.scoped(p, &world, "EXCHANGE", |p| {
+                    let right = (rank + 1) % n;
+                    let left = (rank + n - 1) % n;
+                    let _ = world.sendrecv(
+                        p,
+                        right,
+                        step,
+                        &[rank as f64],
+                        Src::Rank(left),
+                        TagSel::Is(step),
+                    );
+                });
+                s.scoped(p, &world, "REDUCE", |p| {
+                    let _ = world.allreduce_sum_f64(p, rank as f64);
+                });
+            }
+        })
+        .expect("quickstart program must run clean");
+    report.final_times
+}
+
+#[test]
+fn quickstart_is_clean_and_unperturbed_under_check() {
+    let plain = quickstart_times(None);
+    let analyzer = Analyzer::new();
+    let checked = quickstart_times(Some(analyzer.clone()));
+    assert!(
+        analyzer.diagnostics().is_empty(),
+        "quickstart flagged: {:?}",
+        analyzer.diagnostics()
+    );
+    assert_eq!(plain, checked, "analyzer changed virtual-time results");
+}
+
+fn convolution_times(analyzer: Option<Arc<Analyzer>>) -> Vec<machine::VTime> {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let s = sections.clone();
+    let cfg = Arc::new(ConvConfig::paper(10));
+    let mut builder = WorldBuilder::new(8)
+        .machine(presets::nehalem_cluster())
+        .seed(1)
+        .tool(sections.clone());
+    if let Some(a) = analyzer {
+        builder = builder.tool(a);
+    }
+    let report = builder
+        .run(move |p| {
+            run_convolution(p, &s, &cfg);
+        })
+        .expect("convolution must run clean");
+    report.final_times
+}
+
+#[test]
+fn convolution_is_clean_and_unperturbed_under_check() {
+    let plain = convolution_times(None);
+    let analyzer = Analyzer::new();
+    let checked = convolution_times(Some(analyzer.clone()));
+    assert!(
+        analyzer.diagnostics().is_empty(),
+        "convolution flagged: {:?}",
+        analyzer.diagnostics()
+    );
+    assert_eq!(plain, checked, "analyzer changed virtual-time results");
+}

@@ -106,7 +106,10 @@ fn lulesh_fig10_headline_numbers() {
         .get_world("LagrangeElements")
         .unwrap()
         .avg_per_rank_secs();
-    assert!((nodal - 43.84).abs() / 43.84 < 0.05, "nodal {nodal} vs 43.84");
+    assert!(
+        (nodal - 43.84).abs() / 43.84 < 0.05,
+        "nodal {nodal} vs 43.84"
+    );
     assert!(
         (elements - 64.29).abs() / 64.29 < 0.05,
         "elements {elements} vs 64.29"
@@ -114,11 +117,17 @@ fn lulesh_fig10_headline_numbers() {
     let bound = speedup::partial_bound_per_process(seq_wall, nodal + elements);
     assert!((bound - 8.16).abs() / 8.16 < 0.05, "bound {bound} vs 8.16");
     let actual = seq_wall / wall(&at24);
-    assert!((actual - 8.08).abs() / 8.08 < 0.05, "speedup {actual} vs 8.08");
+    assert!(
+        (actual - 8.08).abs() / 8.08 < 0.05,
+        "speedup {actual} vs 8.08"
+    );
     // "each section is individually bounding the speedup": the
     // LagrangeElements-only bound, paper 13.72x.
     let eb = speedup::partial_bound_per_process(seq_wall, elements);
-    assert!((eb - 13.72).abs() / 13.72 < 0.05, "elements bound {eb} vs 13.72");
+    assert!(
+        (eb - 13.72).abs() / 13.72 < 0.05,
+        "elements bound {eb} vs 13.72"
+    );
 }
 
 /// The timeloop accounts for ≈99% of MPI_MAIN (paper §5.2) and an

@@ -4,9 +4,7 @@
 use machine::{presets, Work};
 use mpisim::WorldBuilder;
 use proptest::prelude::*;
-use speedup_repro::sections::{
-    ProfileComparison, SectionProfiler, SectionRuntime, VerifyMode,
-};
+use speedup_repro::sections::{ProfileComparison, SectionProfiler, SectionRuntime, VerifyMode};
 use std::sync::Arc;
 
 /// A random phase-structured SPMD program: a list of (label, flops-scale,
@@ -29,7 +27,12 @@ fn phases() -> impl Strategy<Value = Vec<Phase>> {
     )
 }
 
-fn run_phases(nranks: usize, steps: usize, program: &Arc<Vec<Phase>>, seed: u64) -> mpi_sections::Profile {
+fn run_phases(
+    nranks: usize,
+    steps: usize,
+    program: &Arc<Vec<Phase>>,
+    seed: u64,
+) -> mpi_sections::Profile {
     let sections = SectionRuntime::new(VerifyMode::Active);
     let profiler = SectionProfiler::new();
     sections.attach(profiler.clone());

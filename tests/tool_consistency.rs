@@ -42,7 +42,9 @@ fn all_tools_agree_on_a_lulesh_run() {
     // 1. The trace has exactly one span per (instance, rank) of every
     //    section the profiler counted.
     for label in SECTION_LABELS.iter().chain([MPI_MAIN].iter()) {
-        let stats = profile.get_world(label).unwrap_or_else(|| panic!("{label}"));
+        let stats = profile
+            .get_world(label)
+            .unwrap_or_else(|| panic!("{label}"));
         let expected = stats.instances * nranks as u64;
         let span_count = spans.iter().filter(|e| e.label == *label).count() as u64;
         assert_eq!(span_count, expected, "span count for {label}");
