@@ -1,0 +1,74 @@
+//! Host-side performance benchmark: measures what the *tooling itself*
+//! costs (the paper's §5 concern — "the instrumentation overhead has to
+//! remain negligible") and how fast the simulator churns through the two
+//! workloads. Writes `BENCH_profiler.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench
+//! ```
+//!
+//! All numbers are host wall-clock (not virtual time): section enter/exit
+//! cost in nanoseconds per pair (bare runtime vs. with the streaming
+//! profiler attached) and simulated steps per host second for the
+//! convolution and LULESH benchmarks on the `ideal` machine with a fixed
+//! seed, so successive runs are comparable.
+
+use mpi_sections::{SectionProfiler, SectionRuntime, VerifyMode};
+use mpisim::WorldBuilder;
+use std::time::Instant;
+
+/// Run `pairs` section enter/exit pairs on a single rank and return host
+/// nanoseconds per pair.
+fn section_pair_ns(pairs: usize, with_profiler: bool) -> f64 {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    if with_profiler {
+        sections.attach(SectionProfiler::new());
+    }
+    let s = sections.clone();
+    let start = Instant::now();
+    WorldBuilder::new(1)
+        .tool(sections.clone())
+        .run(move |p| {
+            let world = p.world();
+            for _ in 0..pairs {
+                s.scoped(p, &world, "BENCH", |_| {});
+            }
+        })
+        .expect("overhead run failed");
+    start.elapsed().as_nanos() as f64 / pairs as f64
+}
+
+fn main() {
+    let warmup = 10_000;
+    let pairs = 200_000;
+    // Warm up allocators and the thread pool before timing.
+    let _ = section_pair_ns(warmup, true);
+
+    let bare_ns = section_pair_ns(pairs, false);
+    let profiled_ns = section_pair_ns(pairs, true);
+
+    let ideal = machine::presets::ideal();
+    let conv_steps = 50;
+    let start = Instant::now();
+    let _ = bench::conv_profile(8, conv_steps, &ideal, 1);
+    let conv_sps = conv_steps as f64 / start.elapsed().as_secs_f64();
+
+    let lulesh_iters = 20;
+    let s = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, 8).expect("8 is a cube");
+    let start = Instant::now();
+    let _ = bench::lulesh_profile(8, s, lulesh_iters, 1, &ideal, 1);
+    let lulesh_sps = lulesh_iters as f64 / start.elapsed().as_secs_f64();
+
+    let json = format!(
+        "{{\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}}}\n}}\n",
+        (profiled_ns - bare_ns).max(0.0)
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join("BENCH_profiler.json");
+    std::fs::write(&path, &json).expect("write BENCH_profiler.json");
+    print!("{json}");
+    println!("wrote {}", path.display());
+}

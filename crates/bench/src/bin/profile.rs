@@ -17,9 +17,22 @@
 //!   --machine-file F  load the machine from a `key = value` file (see
 //!                  `machine::config`); overrides --machine
 //!   --seed N       noise seed                        (default 1)
-//!   --trace FILE   write a Chrome trace JSON (open in chrome://tracing)
+//!   --trace FILE   write a Chrome trace JSON (open in chrome://tracing;
+//!                  rank rows are labeled and message arrows join each
+//!                  send to its matching receive)
 //!   --csv FILE     write the span trace as CSV
 //!   --profile-csv FILE  write the per-section summary as CSV
+//!   --metrics      print the pvar communication metrics (per-section
+//!                  message/byte counters), the wait-state breakdown
+//!                  (late-sender / late-receiver / collective-wait) and
+//!                  the critical-path speedup bound next to the Eq. 6
+//!                  ranking
+//!   --comm-matrix  print the per-(src,dst) communication matrix
+//!   --flamegraph FILE   write folded flamegraph stacks weighted by
+//!                  exclusive section time (flamegraph.pl / speedscope)
+//!   --metrics-json FILE  write the pvar + wait-state + critical-path
+//!                  metrics as one JSON document (byte-identical across
+//!                  runs with the same seed)
 //!   --compare-seq  also run the sequential baseline and print the
 //!                  per-section scaling comparison (Eq. 6 bounds vs a real
 //!                  baseline instead of the single-run proxy)
@@ -30,7 +43,8 @@
 //! ```
 
 use mpi_sections::{
-    render, render_bounds, ReportOptions, SectionProfiler, SectionRuntime, TraceTool, VerifyMode,
+    classify, critpath, render, render_bounds, CommRecorder, PvarRegistry, ReportOptions,
+    SectionProfiler, SectionRuntime, TraceTool, VerifyMode,
 };
 use mpisim::WorldBuilder;
 use std::sync::Arc;
@@ -49,6 +63,10 @@ struct Args {
     profile_csv: Option<String>,
     compare_seq: bool,
     check: bool,
+    metrics: bool,
+    comm_matrix: bool,
+    flamegraph: Option<String>,
+    metrics_json: Option<String>,
 }
 
 fn parse() -> Args {
@@ -66,6 +84,10 @@ fn parse() -> Args {
         profile_csv: None,
         compare_seq: false,
         check: false,
+        metrics: false,
+        comm_matrix: false,
+        flamegraph: None,
+        metrics_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -119,6 +141,22 @@ fn parse() -> Args {
                 args.check = true;
                 i += 1;
             }
+            "--metrics" => {
+                args.metrics = true;
+                i += 1;
+            }
+            "--comm-matrix" => {
+                args.comm_matrix = true;
+                i += 1;
+            }
+            "--flamegraph" => {
+                args.flamegraph = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--metrics-json" => {
+                args.metrics_json = Some(argv[i + 1].clone());
+                i += 2;
+            }
             w if !w.starts_with("--") && args.workload.is_empty() => {
                 args.workload = w.to_string();
                 i += 1;
@@ -130,7 +168,7 @@ fn parse() -> Args {
         }
     }
     if args.workload.is_empty() {
-        eprintln!("usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] [--machine M] [--seed N] [--trace FILE] [--csv FILE] [--check]");
+        eprintln!("usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] [--machine M] [--seed N] [--trace FILE] [--csv FILE] [--check] [--metrics] [--comm-matrix] [--flamegraph FILE] [--metrics-json FILE]");
         std::process::exit(2);
     }
     args
@@ -185,9 +223,30 @@ fn main() {
     let profiler = SectionProfiler::new();
     let trace = TraceTool::new();
     sections.attach(profiler.clone());
-    let tracing = args.trace.is_some() || args.csv.is_some();
+    let tracing = args.trace.is_some() || args.csv.is_some() || args.flamegraph.is_some();
     if tracing {
         sections.attach(trace.clone());
+    }
+    let observing = args.metrics || args.comm_matrix || args.metrics_json.is_some();
+    let pvar = observing.then(PvarRegistry::new);
+    let recorder = observing.then(CommRecorder::new);
+
+    // PMPI-layer tools shared by both workload arms: the correctness
+    // checker, the pvar registry and wait-state recorder (--metrics and
+    // friends), and the trace tool itself when Chrome output was requested
+    // (it records message endpoints for the flow arrows).
+    let mut extra: Vec<Arc<dyn mpisim::Tool>> = Vec::new();
+    if let Some(checker) = &checker {
+        extra.push(checker.clone());
+    }
+    if let Some(pvar) = &pvar {
+        extra.push(pvar.clone());
+    }
+    if let Some(recorder) = &recorder {
+        extra.push(recorder.clone());
+    }
+    if args.trace.is_some() {
+        extra.push(trace.clone());
     }
 
     match args.workload.as_str() {
@@ -199,8 +258,8 @@ fn main() {
                 .machine(m.clone())
                 .seed(args.seed)
                 .tool(sections.clone());
-            if let Some(checker) = &checker {
-                builder = builder.tool(checker.clone());
+            for t in &extra {
+                builder = builder.tool(t.clone());
             }
             let report = unwrap_run(builder.run(move |p| {
                 convolution::run_convolution(p, &s, &cfg);
@@ -233,8 +292,8 @@ fn main() {
                 .machine(m.clone())
                 .seed(args.seed)
                 .tool(sections.clone());
-            if let Some(checker) = &checker {
-                builder = builder.tool(checker.clone());
+            for t in &extra {
+                builder = builder.tool(t.clone());
             }
             let report = unwrap_run(builder.run(move |p| {
                 lulesh_proxy::run_lulesh(p, &sr, &cfg);
@@ -275,6 +334,45 @@ fn main() {
         .map(|s| s.total_excl_secs)
         .sum();
     println!("{}", render_bounds(&profile, total, args.p));
+
+    // Communication-aware observability: pvar counters, wait-state
+    // classification and the critical-path bound complement the Eq. 6
+    // ranking — the former say *why* a section caps speedup, the latter
+    // bounds what any p can achieve through the dependency graph.
+    let snapshot = pvar.as_ref().map(|pv| pv.snapshot());
+    let comm_log = recorder.as_ref().map(|r| r.freeze());
+    let analysis = comm_log
+        .as_ref()
+        .map(|log| (classify(log), critpath::extract(log)));
+    if args.metrics {
+        if let Some(snapshot) = &snapshot {
+            println!("{}", snapshot.render_metrics());
+        }
+        if let Some((waits, cp)) = &analysis {
+            println!("{}", waits.render());
+            println!("{}", cp.render(total, args.p));
+        }
+    }
+    if args.comm_matrix {
+        if let Some(snapshot) = &snapshot {
+            println!("{}", snapshot.render_matrix(32));
+        }
+    }
+    if let Some(path) = &args.metrics_json {
+        let (waits, cp) = analysis.as_ref().expect("recorder attached");
+        let snapshot = snapshot.as_ref().expect("registry attached");
+        let json = format!(
+            "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"pvar\":{},\"waitstate\":{},\"critical_path\":{}}}\n",
+            args.workload,
+            args.p,
+            args.seed,
+            snapshot.to_json(),
+            waits.to_json(),
+            cp.to_json()
+        );
+        std::fs::write(path, json).expect("write metrics json");
+        println!("wrote metrics JSON to {path}");
+    }
 
     if args.compare_seq && args.p > 1 {
         // Re-run the same workload sequentially and line the two profiles
@@ -348,5 +446,9 @@ fn main() {
     if let Some(path) = &args.profile_csv {
         std::fs::write(path, profile.to_csv()).expect("write profile csv");
         println!("wrote profile CSV to {path}");
+    }
+    if let Some(path) = &args.flamegraph {
+        std::fs::write(path, trace.to_folded()).expect("write flamegraph");
+        println!("wrote folded flamegraph stacks to {path}");
     }
 }

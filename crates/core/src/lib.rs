@@ -54,26 +54,32 @@
 pub mod balance;
 pub mod compare;
 pub mod context;
+pub mod critpath;
 pub mod histogram;
 pub mod metrics;
 pub mod pcontrol;
 pub mod profiler;
+pub mod pvar;
 pub mod report;
 pub mod section;
 pub mod tool;
 pub mod trace;
+pub mod waitstate;
 
 pub use balance::BalanceReport;
 pub use compare::{ProfileComparison, SectionScaling};
 pub use context::ContextTool;
+pub use critpath::CriticalPath;
 pub use histogram::{DurationHistogram, HistogramTool};
 pub use metrics::InstanceStats;
 pub use pcontrol::PcontrolAdapter;
 pub use profiler::{Profile, SectionKey, SectionProfiler, SectionStats};
+pub use pvar::{PvarRegistry, PvarSnapshot};
 pub use report::{render, render_bounds, ReportOptions};
 pub use section::{SectionRuntime, VerifyMode, MPI_MAIN};
 pub use tool::{EnterInfo, LeaveInfo, SectionTool};
 pub use trace::{SpanEvent, TraceTool};
+pub use waitstate::{classify, CommRecorder, WaitStateReport};
 
 use mpisim::{Comm, Proc};
 

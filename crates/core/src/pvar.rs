@@ -1,0 +1,601 @@
+//! An MPI_T-style performance-variable (pvar) registry.
+//!
+//! Real MPI tools read runtime-internal counters through the MPI_T pvar
+//! interface (`MPI_T_pvar_get_num`, `..._read`); the paper's whole argument
+//! (§2, Eq. 6) is that per-section wall time alone cannot say *why* a
+//! section caps speedup — communication volume and waiting time can.
+//! [`PvarRegistry`] is the in-process equivalent: an [`mpisim::Tool`] that
+//! maintains, per rank,
+//!
+//! * point-to-point message and byte counters (send and receive side),
+//! * collective call counters and time spent inside collective rendezvous,
+//! * time spent blocked in receives,
+//! * a per-(source, destination) world-rank **communication matrix**,
+//!
+//! and snapshots every counter at section enter/exit (driven by the
+//! PMPI-level `SectionEnter`/`SectionLeave` events the section runtime
+//! raises), so every metric is attributable to the section it occurred in.
+//!
+//! The registry only observes — it never advances virtual time — so runs
+//! are bit-identical with and without it attached.
+
+use crate::profiler::SectionKey;
+use mpisim::diag::json_str;
+use mpisim::{CommId, MpiEvent, Tool};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const SHARDS: usize = 64;
+
+/// The raw per-rank counters (a pvar "session" in MPI_T terms). All time
+/// values are virtual nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Point-to-point messages sent (including the send half of sendrecv).
+    pub sent_msgs: u64,
+    /// Logical payload bytes sent point-to-point.
+    pub sent_bytes: u64,
+    /// Point-to-point messages received.
+    pub recv_msgs: u64,
+    /// Logical payload bytes received point-to-point.
+    pub recv_bytes: u64,
+    /// MPI-level collective calls entered (barrier, bcast, reduce, ...).
+    pub coll_calls: u64,
+    /// Virtual time spent in blocking receives (post to completion).
+    pub recv_wait_ns: u64,
+    /// Virtual time spent inside collective rendezvous (entry to common
+    /// exit: synchronization wait plus the operation's modelled cost).
+    pub coll_wait_ns: u64,
+}
+
+impl Counters {
+    /// Component-wise difference `self - earlier` (all counters are
+    /// monotonic, so this is the activity between two snapshots).
+    fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            sent_msgs: self.sent_msgs - earlier.sent_msgs,
+            sent_bytes: self.sent_bytes - earlier.sent_bytes,
+            recv_msgs: self.recv_msgs - earlier.recv_msgs,
+            recv_bytes: self.recv_bytes - earlier.recv_bytes,
+            coll_calls: self.coll_calls - earlier.coll_calls,
+            recv_wait_ns: self.recv_wait_ns - earlier.recv_wait_ns,
+            coll_wait_ns: self.coll_wait_ns - earlier.coll_wait_ns,
+        }
+    }
+
+    fn add(&mut self, other: &Counters) {
+        self.sent_msgs += other.sent_msgs;
+        self.sent_bytes += other.sent_bytes;
+        self.recv_msgs += other.recv_msgs;
+        self.recv_bytes += other.recv_bytes;
+        self.coll_calls += other.coll_calls;
+        self.recv_wait_ns += other.recv_wait_ns;
+        self.coll_wait_ns += other.coll_wait_ns;
+    }
+
+    /// Blocked-receive seconds.
+    pub fn recv_wait_secs(&self) -> f64 {
+        self.recv_wait_ns as f64 / 1e9
+    }
+
+    /// Collective-rendezvous seconds.
+    pub fn coll_wait_secs(&self) -> f64 {
+        self.coll_wait_ns as f64 / 1e9
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"sent_msgs\":{},\"sent_bytes\":{},\"recv_msgs\":{},\"recv_bytes\":{},\
+             \"coll_calls\":{},\"recv_wait_ns\":{},\"coll_wait_ns\":{}}}",
+            self.sent_msgs,
+            self.sent_bytes,
+            self.recv_msgs,
+            self.recv_bytes,
+            self.coll_calls,
+            self.recv_wait_ns,
+            self.coll_wait_ns
+        )
+    }
+}
+
+/// One cell of the communication matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// Messages sent from the row rank to the column rank.
+    pub msgs: u64,
+    /// Logical bytes sent from the row rank to the column rank.
+    pub bytes: u64,
+}
+
+/// Per-rank live state.
+#[derive(Default)]
+struct RankPvars {
+    counters: Counters,
+    /// Destination world rank -> traffic from this rank.
+    matrix: HashMap<usize, MatrixCell>,
+    /// Open sections per communicator, each carrying the counter snapshot
+    /// taken at enter (attribution baseline).
+    stacks: HashMap<CommId, Vec<(Arc<str>, Counters)>>,
+    /// Virtual time at which the current blocking receive was posted.
+    recv_posted_ns: Option<u64>,
+    /// Virtual time at which the current collective rendezvous was entered.
+    coll_entered_ns: Option<u64>,
+}
+
+/// The pvar registry tool. Attach with
+/// [`WorldBuilder::tool`](mpisim::WorldBuilder::tool) (alongside the
+/// section runtime, so section enter/leave events reach it), run, then
+/// [`PvarRegistry::snapshot`].
+#[derive(Default)]
+pub struct PvarRegistry {
+    shards: Vec<Mutex<HashMap<usize, RankPvars>>>,
+    /// Per-(comm, label) communication totals, folded in at section leave.
+    sections: Mutex<BTreeMap<SectionKey, Counters>>,
+    nranks: Mutex<usize>,
+}
+
+impl PvarRegistry {
+    /// A fresh registry behind an `Arc`, ready to attach.
+    pub fn new() -> Arc<PvarRegistry> {
+        Arc::new(PvarRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            sections: Mutex::new(BTreeMap::new()),
+            nranks: Mutex::new(0),
+        })
+    }
+
+    fn with_rank<R>(&self, rank: usize, f: impl FnOnce(&mut RankPvars) -> R) -> R {
+        let mut shard = self.shards[rank % SHARDS].lock();
+        f(shard.entry(rank).or_default())
+    }
+
+    /// Fold the delta since `snap` into the per-section totals.
+    fn attribute(&self, comm: CommId, label: &str, now: &Counters, snap: &Counters) {
+        let delta = now.since(snap);
+        let mut sections = self.sections.lock();
+        sections
+            .entry(SectionKey {
+                comm,
+                label: label.to_string(),
+            })
+            .or_default()
+            .add(&delta);
+    }
+
+    /// Freeze the collected counters into an immutable snapshot.
+    pub fn snapshot(&self) -> PvarSnapshot {
+        let nranks = *self.nranks.lock();
+        let mut per_rank = vec![Counters::default(); nranks];
+        let mut matrix: BTreeMap<(usize, usize), MatrixCell> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&rank, rp) in shard.iter() {
+                if rank < per_rank.len() {
+                    per_rank[rank] = rp.counters;
+                }
+                for (&dst, cell) in &rp.matrix {
+                    let entry = matrix.entry((rank, dst)).or_default();
+                    entry.msgs += cell.msgs;
+                    entry.bytes += cell.bytes;
+                }
+            }
+        }
+        PvarSnapshot {
+            nranks,
+            per_rank,
+            matrix,
+            per_section: self.sections.lock().clone(),
+        }
+    }
+}
+
+impl Tool for PvarRegistry {
+    fn on_event(&self, world_rank: usize, event: &MpiEvent) {
+        match event {
+            MpiEvent::Init { size, .. } => {
+                let mut n = self.nranks.lock();
+                *n = (*n).max(*size);
+                // The implicit MPI_MAIN section opens here; the section
+                // runtime does not re-raise it at PMPI level, so open the
+                // attribution frame from Init directly.
+                self.with_rank(world_rank, |rp| {
+                    let snap = rp.counters;
+                    rp.stacks
+                        .entry(CommId::WORLD)
+                        .or_default()
+                        .push((Arc::from(crate::section::MPI_MAIN), snap));
+                });
+            }
+            MpiEvent::Finalize { .. } => {
+                let frames = self.with_rank(world_rank, |rp| {
+                    let now = rp.counters;
+                    // Close everything still open (normally just MPI_MAIN).
+                    let mut closed = Vec::new();
+                    for (comm, stack) in rp.stacks.drain() {
+                        for (label, snap) in stack {
+                            closed.push((comm, label, now, snap));
+                        }
+                    }
+                    closed
+                });
+                for (comm, label, now, snap) in frames {
+                    self.attribute(comm, &label, &now, &snap);
+                }
+            }
+            MpiEvent::SectionEnter { comm, label, .. } => {
+                self.with_rank(world_rank, |rp| {
+                    let snap = rp.counters;
+                    rp.stacks
+                        .entry(*comm)
+                        .or_default()
+                        .push((label.clone(), snap));
+                });
+            }
+            MpiEvent::SectionLeave { comm, label, .. } => {
+                let frame = self.with_rank(world_rank, |rp| {
+                    let now = rp.counters;
+                    rp.stacks
+                        .get_mut(comm)
+                        .and_then(|s| s.pop())
+                        .map(|(_, snap)| (now, snap))
+                });
+                if let Some((now, snap)) = frame {
+                    self.attribute(*comm, label, &now, &snap);
+                }
+            }
+            MpiEvent::SendEnqueued {
+                dst_world, bytes, ..
+            } => {
+                self.with_rank(world_rank, |rp| {
+                    rp.counters.sent_msgs += 1;
+                    rp.counters.sent_bytes += bytes;
+                    let cell = rp.matrix.entry(*dst_world).or_default();
+                    cell.msgs += 1;
+                    cell.bytes += bytes;
+                });
+            }
+            MpiEvent::RecvBlocked { time, .. } => {
+                self.with_rank(world_rank, |rp| {
+                    rp.recv_posted_ns = Some(time.as_nanos());
+                });
+            }
+            MpiEvent::RecvMatched { bytes, .. } => {
+                self.with_rank(world_rank, |rp| {
+                    rp.counters.recv_msgs += 1;
+                    rp.counters.recv_bytes += bytes;
+                });
+            }
+            MpiEvent::CallEnter { call, .. } if call.is_collective() => {
+                self.with_rank(world_rank, |rp| rp.counters.coll_calls += 1);
+            }
+            MpiEvent::CallExit { time, .. } => {
+                // A blocking receive completes (clock advanced past the
+                // message arrival) at the exit of its enclosing call
+                // (Recv, Wait or Sendrecv).
+                self.with_rank(world_rank, |rp| {
+                    if let Some(posted) = rp.recv_posted_ns.take() {
+                        rp.counters.recv_wait_ns += time.as_nanos().saturating_sub(posted);
+                    }
+                });
+            }
+            MpiEvent::CollectiveEnter { time, .. } => {
+                self.with_rank(world_rank, |rp| {
+                    rp.coll_entered_ns = Some(time.as_nanos());
+                });
+            }
+            MpiEvent::CollectiveExit { time, .. } => {
+                self.with_rank(world_rank, |rp| {
+                    if let Some(entered) = rp.coll_entered_ns.take() {
+                        rp.counters.coll_wait_ns += time.as_nanos().saturating_sub(entered);
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Immutable post-run view of every pvar.
+#[derive(Debug, Clone)]
+pub struct PvarSnapshot {
+    /// World size.
+    pub nranks: usize,
+    /// Counter totals per world rank.
+    pub per_rank: Vec<Counters>,
+    /// Communication matrix: `(src, dst)` world ranks -> traffic. Only
+    /// pairs that exchanged at least one message are present.
+    pub matrix: BTreeMap<(usize, usize), MatrixCell>,
+    /// Per-(comm, label) counter deltas, attributed at section leave.
+    pub per_section: BTreeMap<SectionKey, Counters>,
+}
+
+impl PvarSnapshot {
+    /// Counter totals over all ranks.
+    pub fn totals(&self) -> Counters {
+        let mut total = Counters::default();
+        for c in &self.per_rank {
+            total.add(c);
+        }
+        total
+    }
+
+    /// Render the per-section communication table plus per-run totals.
+    pub fn render_metrics(&self) -> String {
+        let mut out = String::from("communication metrics per section (pvar registry):\n");
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>12} {:>10} {:>12} {:>8} {:>12} {:>12}",
+            "section", "sent", "sent B", "recvd", "recvd B", "colls", "recv-wait s", "coll s"
+        );
+        out.push_str(&"-".repeat(116));
+        out.push('\n');
+        for (key, c) in &self.per_section {
+            let label = if key.comm == CommId::WORLD {
+                key.label.clone()
+            } else {
+                format!("{} (comm {})", key.label, key.comm.0)
+            };
+            let _ = writeln!(
+                out,
+                "{:<32} {:>10} {:>12} {:>10} {:>12} {:>8} {:>12.4} {:>12.4}",
+                crate::report::truncate_label(&label, 32),
+                c.sent_msgs,
+                c.sent_bytes,
+                c.recv_msgs,
+                c.recv_bytes,
+                c.coll_calls,
+                c.recv_wait_secs(),
+                c.coll_wait_secs(),
+            );
+        }
+        let t = self.totals();
+        let _ = writeln!(
+            out,
+            "\ntotals over {} ranks: {} p2p msgs / {} B sent, {} collective calls, \
+             {:.4} s blocked in receives, {:.4} s in collectives",
+            self.nranks,
+            t.sent_msgs,
+            t.sent_bytes,
+            t.coll_calls,
+            t.recv_wait_secs(),
+            t.coll_wait_secs(),
+        );
+        out
+    }
+
+    /// Render the communication matrix (bytes sent, `src` rows by `dst`
+    /// columns). Worlds beyond `max_ranks` are summarized as the heaviest
+    /// pairs instead of an unreadable wall of columns.
+    pub fn render_matrix(&self, max_ranks: usize) -> String {
+        let mut out = String::from("communication matrix (bytes, row = sender, col = receiver):\n");
+        if self.nranks <= max_ranks {
+            let _ = write!(out, "{:>8}", "");
+            for dst in 0..self.nranks {
+                let _ = write!(out, " {dst:>10}");
+            }
+            out.push('\n');
+            for src in 0..self.nranks {
+                let _ = write!(out, "{src:>8}");
+                for dst in 0..self.nranks {
+                    let bytes = self.matrix.get(&(src, dst)).map(|c| c.bytes).unwrap_or(0);
+                    if bytes == 0 {
+                        let _ = write!(out, " {:>10}", ".");
+                    } else {
+                        let _ = write!(out, " {bytes:>10}");
+                    }
+                }
+                out.push('\n');
+            }
+        } else {
+            let mut pairs: Vec<(&(usize, usize), &MatrixCell)> = self.matrix.iter().collect();
+            pairs.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes).then(a.0.cmp(b.0)));
+            let shown = pairs.len().min(20);
+            let _ = writeln!(
+                out,
+                "  ({} ranks > {max_ranks}: showing the {shown} heaviest of {} active pairs)",
+                self.nranks,
+                pairs.len()
+            );
+            for ((src, dst), cell) in pairs.into_iter().take(shown) {
+                let _ = writeln!(
+                    out,
+                    "  {src:>4} -> {dst:<4} {:>12} B in {:>8} msgs",
+                    cell.bytes, cell.msgs
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON dump (deterministic field and key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"nranks\":{}", self.nranks);
+        out.push_str(",\"per_rank\":[");
+        for (i, c) in self.per_rank.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_json());
+        }
+        out.push_str("],\"matrix\":[");
+        for (i, ((src, dst), cell)) in self.matrix.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"src\":{src},\"dst\":{dst},\"msgs\":{},\"bytes\":{}}}",
+                cell.msgs, cell.bytes
+            );
+        }
+        out.push_str("],\"sections\":[");
+        for (i, (key, c)) in self.per_section.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"comm\":{},\"label\":{},\"counters\":{}}}",
+                key.comm.0,
+                json_str(&key.label),
+                c.to_json()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SectionRuntime, VerifyMode};
+    use mpisim::{Src, TagSel, WorldBuilder};
+
+    fn ring_run(nranks: usize) -> PvarSnapshot {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let pvar = PvarRegistry::new();
+        let s = sections.clone();
+        WorldBuilder::new(nranks)
+            .tool(sections.clone())
+            .tool(pvar.clone())
+            .run(move |p| {
+                let world = p.world();
+                s.scoped(p, &world, "EXCHANGE", |p| {
+                    let world = p.world();
+                    let next = (p.world_rank() + 1) % p.world_size();
+                    let prev = (p.world_rank() + p.world_size() - 1) % p.world_size();
+                    world.send(p, next, 0, &[1u64, 2, 3]);
+                    let _ = world.recv::<u64>(p, Src::Rank(prev), TagSel::Is(0));
+                });
+                s.scoped(p, &world, "SYNC", |p| {
+                    let world = p.world();
+                    world.barrier(p);
+                });
+            })
+            .unwrap();
+        pvar.snapshot()
+    }
+
+    #[test]
+    fn ring_counters_and_matrix() {
+        let snap = ring_run(4);
+        assert_eq!(snap.nranks, 4);
+        let totals = snap.totals();
+        assert_eq!(totals.sent_msgs, 4);
+        assert_eq!(totals.recv_msgs, 4);
+        assert_eq!(totals.sent_bytes, 4 * 24);
+        assert_eq!(totals.recv_bytes, 4 * 24);
+        assert_eq!(totals.coll_calls, 4); // one barrier per rank
+                                          // Ring matrix: each rank sent exactly one 24-byte message to next.
+        assert_eq!(snap.matrix.len(), 4);
+        assert_eq!(
+            snap.matrix.get(&(0, 1)),
+            Some(&MatrixCell { msgs: 1, bytes: 24 })
+        );
+        assert_eq!(
+            snap.matrix.get(&(3, 0)),
+            Some(&MatrixCell { msgs: 1, bytes: 24 })
+        );
+    }
+
+    #[test]
+    fn sections_attribute_traffic() {
+        let snap = ring_run(4);
+        let exchange = snap
+            .per_section
+            .get(&SectionKey {
+                comm: CommId::WORLD,
+                label: "EXCHANGE".into(),
+            })
+            .unwrap();
+        assert_eq!(exchange.sent_msgs, 4);
+        assert_eq!(exchange.coll_calls, 0);
+        let sync = snap
+            .per_section
+            .get(&SectionKey {
+                comm: CommId::WORLD,
+                label: "SYNC".into(),
+            })
+            .unwrap();
+        assert_eq!(sync.sent_msgs, 0);
+        assert_eq!(sync.coll_calls, 4);
+        // MPI_MAIN sees everything (it encloses both sections).
+        let main = snap
+            .per_section
+            .get(&SectionKey {
+                comm: CommId::WORLD,
+                label: crate::section::MPI_MAIN.into(),
+            })
+            .unwrap();
+        assert_eq!(main.sent_msgs, 4);
+        assert_eq!(main.coll_calls, 4);
+    }
+
+    #[test]
+    fn recv_wait_measures_late_sender() {
+        let pvar = PvarRegistry::new();
+        WorldBuilder::new(2)
+            .tool(pvar.clone())
+            .run(|p| {
+                let world = p.world();
+                if p.world_rank() == 0 {
+                    // Receiver posts immediately; sender is 2 s late.
+                    let _ = world.recv::<u8>(p, Src::Rank(1), TagSel::Any);
+                } else {
+                    p.advance_secs(2.0);
+                    world.send(p, 0, 0, &[9u8]);
+                }
+            })
+            .unwrap();
+        let snap = pvar.snapshot();
+        // Rank 0 waited at least the 2 s skew.
+        assert!(snap.per_rank[0].recv_wait_secs() >= 2.0);
+        assert_eq!(snap.per_rank[1].recv_wait_ns, 0);
+    }
+
+    #[test]
+    fn collective_wait_measures_straggler() {
+        let pvar = PvarRegistry::new();
+        WorldBuilder::new(2)
+            .tool(pvar.clone())
+            .run(|p| {
+                let world = p.world();
+                if p.world_rank() == 1 {
+                    p.advance_secs(1.0);
+                }
+                world.barrier(p);
+            })
+            .unwrap();
+        let snap = pvar.snapshot();
+        // Rank 0 arrived first and waited ~1 s for rank 1.
+        assert!(snap.per_rank[0].coll_wait_secs() >= 1.0);
+        assert!(snap.per_rank[1].coll_wait_secs() < 0.5);
+    }
+
+    #[test]
+    fn renders_and_json_are_wellformed() {
+        let snap = ring_run(3);
+        let metrics = snap.render_metrics();
+        assert!(metrics.contains("EXCHANGE"), "{metrics}");
+        assert!(metrics.contains("totals over 3 ranks"), "{metrics}");
+        let matrix = snap.render_matrix(16);
+        assert!(matrix.contains("communication matrix"), "{matrix}");
+        let wide = snap.render_matrix(2);
+        assert!(wide.contains("heaviest"), "{wide}");
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"matrix\":["), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let a = ring_run(4).to_json();
+        let b = ring_run(4).to_json();
+        assert_eq!(a, b);
+    }
+}

@@ -136,7 +136,7 @@ pub fn render_bounds(profile: &Profile, seq_total_secs: f64, p: usize) -> String
     out
 }
 
-fn truncate_label(label: &str, max: usize) -> String {
+pub(crate) fn truncate_label(label: &str, max: usize) -> String {
     if label.chars().count() <= max {
         label.to_string()
     } else {

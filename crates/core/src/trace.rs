@@ -4,13 +4,23 @@
 //! before zooming in").
 //!
 //! [`TraceTool`] records one complete-span event per section traversal per
-//! rank. The trace can be exported as CSV or as Chrome trace-event JSON
-//! (`chrome://tracing` / Perfetto open it directly, with one timeline row
-//! per rank).
+//! rank (as a [`SectionTool`]) and, when additionally attached as an
+//! [`mpisim::Tool`], the endpoints of every point-to-point message. The
+//! trace exports as:
+//!
+//! * CSV (`to_csv`),
+//! * Chrome trace-event JSON (`to_chrome_trace`) — `chrome://tracing` /
+//!   Perfetto open it directly, with one labeled process row per rank,
+//!   one thread lane per communicator, and flow arrows joining each
+//!   message's send to its matching receive,
+//! * folded flamegraph stacks (`to_folded`) weighted by *exclusive*
+//!   section time, ready for `flamegraph.pl` or speedscope.
 
 use crate::tool::{EnterInfo, LeaveInfo, SectionTool};
-use mpisim::{CommId, SectionData};
+use mpisim::diag::json_str;
+use mpisim::{CommId, MpiEvent, SectionData, Tool};
 use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -33,10 +43,19 @@ pub struct SpanEvent {
     pub occurrence: u64,
 }
 
-/// A tool recording every section traversal as a span.
+/// Both endpoints of one message, as `(rank, time ns, comm id)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowEnds {
+    src: Option<(usize, u64, u64)>,
+    dst: Option<(usize, u64, u64)>,
+}
+
+/// A tool recording every section traversal as a span, plus message flow
+/// endpoints when attached at the PMPI layer too.
 #[derive(Default)]
 pub struct TraceTool {
     events: Mutex<Vec<SpanEvent>>,
+    flows: Mutex<HashMap<u64, FlowEnds>>,
 }
 
 impl TraceTool {
@@ -76,43 +95,199 @@ impl TraceTool {
     }
 
     /// Export as Chrome trace-event JSON (complete events, µs timebase):
-    /// one "process" per rank, one "thread" lane per communicator —
-    /// within a communicator sections nest LIFO, which is what the
-    /// complete-event format requires of a lane.
+    /// one "process" per rank (named via metadata events so Perfetto shows
+    /// `rank N` instead of a bare pid), one "thread" lane per communicator
+    /// — within a communicator sections nest LIFO, which is what the
+    /// complete-event format requires of a lane — and a flow-event pair
+    /// (`ph:"s"` → `ph:"f"`) drawing an arrow from every send to its
+    /// matching receive.
     pub fn to_chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let flows = {
+            let flows = self.flows.lock();
+            let mut pairs: Vec<(u64, FlowEnds)> = flows
+                .iter()
+                .filter(|(_, f)| f.src.is_some() && f.dst.is_some())
+                .map(|(&seq, &f)| (seq, f))
+                .collect();
+            pairs.sort_by_key(|&(seq, _)| seq);
+            pairs
+        };
+
+        // Every (pid) and (pid, tid) that will appear gets a metadata row.
+        let mut pids: BTreeSet<usize> = BTreeSet::new();
+        let mut lanes: BTreeSet<(usize, u64)> = BTreeSet::new();
+        for e in &spans {
+            pids.insert(e.rank);
+            lanes.insert((e.rank, e.comm.0));
+        }
+        for (_, f) in &flows {
+            for end in [f.src, f.dst].into_iter().flatten() {
+                pids.insert(end.0);
+                lanes.insert((end.0, end.2));
+            }
+        }
+
         let mut out = String::from("[");
         let mut first = true;
-        for e in self.spans() {
-            if !first {
+        let emit = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
                 out.push(',');
             }
-            first = false;
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"section\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"depth\":{},\"occurrence\":{}}}}}",
-                escape_json(&e.label),
-                e.enter_ns as f64 / 1e3,
-                (e.exit_ns - e.enter_ns) as f64 / 1e3,
-                e.rank,
-                e.comm.0,
-                e.depth,
-                e.occurrence,
+            *first = false;
+            out.push_str(&ev);
+        };
+
+        for &pid in &pids {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":{}}}}}",
+                    json_str(&format!("rank {pid}"))
+                ),
+            );
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{pid}}}}}"
+                ),
             );
         }
+        for &(pid, tid) in &lanes {
+            let lane = if tid == CommId::WORLD.0 {
+                "MPI_COMM_WORLD".to_string()
+            } else {
+                format!("comm {tid}")
+            };
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+                    json_str(&lane)
+                ),
+            );
+        }
+
+        for e in &spans {
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":{},\"cat\":\"section\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"depth\":{},\"occurrence\":{}}}}}",
+                    json_str(&e.label),
+                    e.enter_ns as f64 / 1e3,
+                    (e.exit_ns - e.enter_ns) as f64 / 1e3,
+                    e.rank,
+                    e.comm.0,
+                    e.depth,
+                    e.occurrence,
+                ),
+            );
+        }
+
+        for (seq, f) in &flows {
+            let (src_rank, src_ns, src_comm) = f.src.expect("filtered");
+            let (dst_rank, dst_ns, dst_comm) = f.dst.expect("filtered");
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{seq},\"ts\":{:.3},\"pid\":{src_rank},\"tid\":{src_comm}}}",
+                    src_ns as f64 / 1e3,
+                ),
+            );
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{seq},\"ts\":{:.3},\"pid\":{dst_rank},\"tid\":{dst_comm}}}",
+                    dst_ns as f64 / 1e3,
+                ),
+            );
+        }
+
         out.push(']');
         out
     }
-}
 
-fn escape_json(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
+    /// Export as folded flamegraph stacks: one line per unique stack,
+    /// `rank N;PARENT;CHILD weight`, weighted by **exclusive** time in
+    /// nanoseconds (a section's own time minus its nested children), so
+    /// frame widths in the rendered graph are proportional to where time
+    /// was actually spent. Lines are sorted; identical runs fold to
+    /// byte-identical output.
+    pub fn to_folded(&self) -> String {
+        let spans = self.spans();
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+
+        // Group by (rank, comm): spans nest LIFO within a lane.
+        let mut i = 0;
+        while i < spans.len() {
+            let (rank, comm) = (spans[i].rank, spans[i].comm);
+            let mut j = i;
+            while j < spans.len() && spans[j].rank == rank && spans[j].comm == comm {
+                j += 1;
+            }
+            let mut group: Vec<&SpanEvent> = spans[i..j].iter().collect();
+            // Parents first: earlier enter, or same enter and later exit.
+            group.sort_by(|a, b| {
+                a.enter_ns
+                    .cmp(&b.enter_ns)
+                    .then(b.exit_ns.cmp(&a.exit_ns))
+                    .then(a.depth.cmp(&b.depth))
+            });
+
+            let prefix = if comm == CommId::WORLD {
+                format!("rank {rank}")
+            } else {
+                format!("rank {rank};comm {}", comm.0)
+            };
+            // Sweep with an explicit stack; child_ns accumulates nested
+            // time so the popped frame's weight is exclusive.
+            let mut stack: Vec<(&SpanEvent, u64)> = Vec::new();
+            let pop = |stack: &mut Vec<(&SpanEvent, u64)>, folded: &mut BTreeMap<String, u64>| {
+                let (span, child_ns) = stack.pop().expect("pop on empty stack");
+                let dur = span.exit_ns - span.enter_ns;
+                let exclusive = dur.saturating_sub(child_ns);
+                let mut path = prefix.clone();
+                for (ancestor, _) in stack.iter() {
+                    path.push(';');
+                    path.push_str(&ancestor.label.replace(';', ","));
+                }
+                path.push(';');
+                path.push_str(&span.label.replace(';', ","));
+                if exclusive > 0 {
+                    *folded.entry(path).or_default() += exclusive;
+                }
+                if let Some(top) = stack.last_mut() {
+                    top.1 += dur;
+                }
+            };
+            for e in group {
+                while let Some(&(top, _)) = stack.last() {
+                    if top.exit_ns <= e.enter_ns {
+                        pop(&mut stack, &mut folded);
+                    } else {
+                        break;
+                    }
+                }
+                stack.push((e, 0));
+            }
+            while !stack.is_empty() {
+                pop(&mut stack, &mut folded);
+            }
+            i = j;
+        }
+
+        let mut out = String::new();
+        for (path, weight) in folded {
+            let _ = writeln!(out, "{path} {weight}");
+        }
+        out
+    }
 }
 
 impl SectionTool for TraceTool {
@@ -131,11 +306,34 @@ impl SectionTool for TraceTool {
     }
 }
 
+/// PMPI attachment: record message endpoints for the flow arrows. Attach
+/// the same `Arc<TraceTool>` with both `sections.attach(..)` (spans) and
+/// `WorldBuilder::tool(..)` (flows).
+impl Tool for TraceTool {
+    fn on_event(&self, world_rank: usize, event: &MpiEvent) {
+        match event {
+            MpiEvent::SendEnqueued {
+                comm, seq, time, ..
+            } => {
+                self.flows.lock().entry(*seq).or_default().src =
+                    Some((world_rank, time.as_nanos(), comm.0));
+            }
+            MpiEvent::RecvMatched {
+                comm, seq, time, ..
+            } => {
+                self.flows.lock().entry(*seq).or_default().dst =
+                    Some((world_rank, time.as_nanos(), comm.0));
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{SectionRuntime, VerifyMode};
-    use mpisim::WorldBuilder;
+    use mpisim::{Src, TagSel, WorldBuilder};
 
     fn traced_run() -> Arc<TraceTool> {
         let sections = SectionRuntime::new(VerifyMode::Active);
@@ -149,6 +347,27 @@ mod tests {
                 s.scoped(p, &world, "outer", |p| {
                     p.advance_secs(1.0);
                     s.scoped(p, &world, "inner", |p| p.advance_secs(0.5));
+                });
+            })
+            .unwrap();
+        trace
+    }
+
+    fn traced_ring_run() -> Arc<TraceTool> {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let trace = TraceTool::new();
+        sections.attach(trace.clone());
+        let s = sections.clone();
+        WorldBuilder::new(2)
+            .tool(sections.clone())
+            .tool(trace.clone())
+            .run(move |p| {
+                let world = p.world();
+                s.scoped(p, &world, "xchg", |p| {
+                    let world = p.world();
+                    let peer = 1 - p.world_rank();
+                    world.send(p, peer, 0, &[1u8, 2]);
+                    let _ = world.recv::<u8>(p, Src::Rank(peer), TagSel::Is(0));
                 });
             })
             .unwrap();
@@ -198,11 +417,61 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping() {
-        assert_eq!(escape_json("plain"), "plain");
-        assert_eq!(escape_json("a\"b"), "a\\\"b");
-        assert_eq!(escape_json("a\\b"), "a\\\\b");
-        assert_eq!(escape_json("a\nb"), "a\\u000ab");
+    fn chrome_trace_labels_ranks() {
+        let trace = traced_run();
+        let json = trace.to_chrome_trace();
+        assert_eq!(json.matches("\"process_name\"").count(), 2);
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"name\":\"rank 1\""));
+        assert_eq!(json.matches("\"process_sort_index\"").count(), 2);
+        assert_eq!(json.matches("\"thread_name\"").count(), 2);
+        assert!(json.contains("\"name\":\"MPI_COMM_WORLD\""));
+    }
+
+    #[test]
+    fn chrome_trace_draws_message_flows() {
+        let trace = traced_ring_run();
+        let json = trace.to_chrome_trace();
+        // Two messages -> two complete arrows.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn folded_stacks_weight_exclusive_time() {
+        let trace = traced_run();
+        let folded = trace.to_folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        // Per rank: MPI_MAIN (exclusive ~0 is dropped or tiny), outer, inner.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("rank 0;MPI_MAIN;outer;inner ")),
+            "{folded}"
+        );
+        let outer = lines
+            .iter()
+            .find(|l| l.starts_with("rank 0;MPI_MAIN;outer "))
+            .unwrap();
+        let weight: u64 = outer.rsplit(' ').next().unwrap().parse().unwrap();
+        // outer ran 1.5 s total but 0.5 s belongs to inner.
+        assert_eq!(weight, 1_000_000_000);
+    }
+
+    #[test]
+    fn folded_output_is_sorted_and_stable() {
+        let a = traced_run().to_folded();
+        let b = traced_run().to_folded();
+        assert_eq!(a, b);
+        let mut lines: Vec<&str> = a.lines().collect();
+        let sorted = {
+            let mut s = lines.clone();
+            s.sort();
+            s
+        };
+        lines.sort();
+        assert_eq!(lines, sorted);
     }
 
     #[test]
@@ -211,5 +480,6 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.to_chrome_trace(), "[]");
         assert_eq!(t.to_csv().lines().count(), 1);
+        assert_eq!(t.to_folded(), "");
     }
 }

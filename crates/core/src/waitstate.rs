@@ -1,0 +1,602 @@
+//! Wait-state classification over the message-dependency event stream.
+//!
+//! Knowing *that* a rank waited (the pvar registry's job) is weaker than
+//! knowing *why*. Following Scalasca's taxonomy, this module records a
+//! compact per-rank communication log during the run and classifies every
+//! wait after the fact:
+//!
+//! * **late sender** — a receive was posted before the matching send was
+//!   issued; the receiver idled for `send_time - post_time`.
+//! * **late receiver** — the message was already in flight when the receive
+//!   was posted; the payload sat in the eager buffer for
+//!   `post_time - send_time` (buffer occupancy, not idling, since our
+//!   sends never block — but still a pipeline-imbalance signal).
+//! * **wait at collective** — a rank reached a collective rendezvous early
+//!   and waited `max(entry) - own_entry` for the last member.
+//!
+//! Every wait is attributed to the section that was open on the affected
+//! rank, so the breakdown composes with the paper's per-section speedup
+//! ranking (Eq. 6): a section with a poor bound *and* dominant late-sender
+//! time points at imbalance in its producer, not at its own code.
+//!
+//! The same log feeds [`crate::critpath`], which walks the recorded
+//! dependencies backward to extract the critical path.
+
+use mpisim::diag::json_str;
+use mpisim::{CommId, MpiEvent, Tool};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const SHARDS: usize = 64;
+
+/// Section-label interner: recording threads store compact ids; analysis
+/// resolves them back to names (and sorts by name, since id allocation
+/// order is scheduling-dependent).
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, label: &Arc<str>) -> u32 {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(label.clone(), id);
+        self.names.push(label.to_string());
+        id
+    }
+}
+
+/// One recorded communication event on one rank. `sec` is the section
+/// active *after* the record takes effect, so the interval from this
+/// record to the next belongs to `sec`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Rec {
+    pub(crate) t_ns: u64,
+    pub(crate) sec: u32,
+    pub(crate) kind: RecKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecKind {
+    /// Section boundary (also used for the implicit frame at Init).
+    Boundary,
+    /// An eager send was issued (`seq` keys into [`CommLog::sends`]).
+    Send { seq: u64 },
+    /// A receive matched; `post_ns` is when the receive was posted.
+    RecvMatch { seq: u64, post_ns: u64 },
+    /// A collective rendezvous completed; `enter_ns` is this rank's
+    /// arrival, `(comm, round)` keys into [`CommLog::colls`].
+    CollExit {
+        comm: CommId,
+        round: u64,
+        enter_ns: u64,
+    },
+    /// Finalize.
+    Fini,
+}
+
+/// When a message was sent (the sending rank is recoverable from the
+/// sender's own `Send` record, indexed by `seq`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SendInfo {
+    pub(crate) send_ns: u64,
+}
+
+#[derive(Default)]
+struct RankState {
+    recs: Vec<Rec>,
+    /// Open section frames in enter order (across communicators).
+    stack: Vec<(CommId, u32)>,
+    recv_posted_ns: Option<u64>,
+    coll_pending: Option<(u64, u64)>, // (enter_ns, round)
+    coll_rounds: HashMap<CommId, u64>,
+    fini_ns: u64,
+}
+
+impl RankState {
+    fn current_sec(&self, main_id: u32) -> u32 {
+        self.stack.last().map(|&(_, id)| id).unwrap_or(main_id)
+    }
+}
+
+/// Per-rank record sequence, frozen for analysis.
+pub(crate) struct RankRecs {
+    pub(crate) recs: Vec<Rec>,
+    pub(crate) fini_ns: u64,
+}
+
+/// `(comm, round)` -> every member's `(world rank, entry time ns)`.
+pub(crate) type CollTable = HashMap<(CommId, u64), Vec<(usize, u64)>>;
+
+/// The frozen communication log of one run: everything the wait-state
+/// classifier and the critical-path walker need, with no references back
+/// into the live tool.
+pub struct CommLog {
+    pub(crate) ranks: Vec<RankRecs>,
+    pub(crate) names: Vec<String>,
+    pub(crate) sends: HashMap<u64, SendInfo>,
+    pub(crate) colls: CollTable,
+}
+
+impl CommLog {
+    pub(crate) fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// World size of the recorded run.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+/// The recording tool. Attach alongside the section runtime, run, then
+/// [`CommRecorder::freeze`] and feed the log to [`classify`] and/or
+/// [`crate::critpath::extract`].
+#[derive(Default)]
+pub struct CommRecorder {
+    shards: Vec<Mutex<HashMap<usize, RankState>>>,
+    interner: Mutex<Interner>,
+    sends: Mutex<HashMap<u64, SendInfo>>,
+    colls: Mutex<CollTable>,
+    nranks: Mutex<usize>,
+    main_id: Mutex<Option<u32>>,
+}
+
+impl CommRecorder {
+    /// A fresh recorder behind an `Arc`, ready to attach.
+    pub fn new() -> Arc<CommRecorder> {
+        Arc::new(CommRecorder {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            interner: Mutex::new(Interner::default()),
+            sends: Mutex::new(HashMap::new()),
+            colls: Mutex::new(HashMap::new()),
+            nranks: Mutex::new(0),
+            main_id: Mutex::new(None),
+        })
+    }
+
+    fn main_id(&self) -> u32 {
+        let mut slot = self.main_id.lock();
+        *slot.get_or_insert_with(|| {
+            self.interner
+                .lock()
+                .intern(&Arc::from(crate::section::MPI_MAIN))
+        })
+    }
+
+    fn with_rank<R>(&self, rank: usize, f: impl FnOnce(&mut RankState) -> R) -> R {
+        let mut shard = self.shards[rank % SHARDS].lock();
+        f(shard.entry(rank).or_default())
+    }
+
+    /// Freeze the recorded state into an immutable [`CommLog`].
+    pub fn freeze(&self) -> CommLog {
+        let nranks = *self.nranks.lock();
+        let mut ranks: Vec<RankRecs> = (0..nranks)
+            .map(|_| RankRecs {
+                recs: Vec::new(),
+                fini_ns: 0,
+            })
+            .collect();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&rank, st) in shard.iter() {
+                if rank < ranks.len() {
+                    ranks[rank] = RankRecs {
+                        recs: st.recs.clone(),
+                        fini_ns: st.fini_ns,
+                    };
+                }
+            }
+        }
+        CommLog {
+            ranks,
+            names: self.interner.lock().names.clone(),
+            sends: self.sends.lock().clone(),
+            colls: self.colls.lock().clone(),
+        }
+    }
+}
+
+impl Tool for CommRecorder {
+    fn on_event(&self, world_rank: usize, event: &MpiEvent) {
+        match event {
+            MpiEvent::Init { size, time } => {
+                {
+                    let mut n = self.nranks.lock();
+                    *n = (*n).max(*size);
+                }
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    st.stack.push((CommId::WORLD, main));
+                    st.recs.push(Rec {
+                        t_ns: time.as_nanos(),
+                        sec: main,
+                        kind: RecKind::Boundary,
+                    });
+                });
+            }
+            MpiEvent::Finalize { time } => {
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    let t = time.as_nanos();
+                    st.fini_ns = t;
+                    let sec = st.current_sec(main);
+                    st.recs.push(Rec {
+                        t_ns: t,
+                        sec,
+                        kind: RecKind::Fini,
+                    });
+                });
+            }
+            MpiEvent::SectionEnter {
+                comm, label, time, ..
+            } => {
+                let id = self.interner.lock().intern(label);
+                self.with_rank(world_rank, |st| {
+                    st.stack.push((*comm, id));
+                    st.recs.push(Rec {
+                        t_ns: time.as_nanos(),
+                        sec: id,
+                        kind: RecKind::Boundary,
+                    });
+                });
+            }
+            MpiEvent::SectionLeave {
+                comm, label, time, ..
+            } => {
+                let id = self.interner.lock().intern(label);
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    // Sections are LIFO per communicator but may interleave
+                    // across communicators: close the most recent matching
+                    // frame, wherever it sits.
+                    if let Some(pos) = st.stack.iter().rposition(|&(c, l)| c == *comm && l == id) {
+                        st.stack.remove(pos);
+                    }
+                    let sec = st.current_sec(main);
+                    st.recs.push(Rec {
+                        t_ns: time.as_nanos(),
+                        sec,
+                        kind: RecKind::Boundary,
+                    });
+                });
+            }
+            MpiEvent::SendEnqueued { seq, time, .. } => {
+                let t = time.as_nanos();
+                self.sends.lock().insert(*seq, SendInfo { send_ns: t });
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    let sec = st.current_sec(main);
+                    st.recs.push(Rec {
+                        t_ns: t,
+                        sec,
+                        kind: RecKind::Send { seq: *seq },
+                    });
+                });
+            }
+            MpiEvent::RecvBlocked { time, .. } => {
+                self.with_rank(world_rank, |st| {
+                    st.recv_posted_ns = Some(time.as_nanos());
+                });
+            }
+            MpiEvent::RecvMatched { seq, time, .. } => {
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    let t = time.as_nanos();
+                    let post = st.recv_posted_ns.take().unwrap_or(t);
+                    let sec = st.current_sec(main);
+                    st.recs.push(Rec {
+                        t_ns: t,
+                        sec,
+                        kind: RecKind::RecvMatch {
+                            seq: *seq,
+                            post_ns: post,
+                        },
+                    });
+                });
+            }
+            MpiEvent::CollectiveEnter { comm, time, .. } => {
+                let t = time.as_nanos();
+                let round = self.with_rank(world_rank, |st| {
+                    let round = st.coll_rounds.entry(*comm).or_insert(0);
+                    let r = *round;
+                    *round += 1;
+                    st.coll_pending = Some((t, r));
+                    r
+                });
+                self.colls
+                    .lock()
+                    .entry((*comm, round))
+                    .or_default()
+                    .push((world_rank, t));
+            }
+            MpiEvent::CollectiveExit { comm, time, .. } => {
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    if let Some((enter_ns, round)) = st.coll_pending.take() {
+                        let sec = st.current_sec(main);
+                        st.recs.push(Rec {
+                            t_ns: time.as_nanos(),
+                            sec,
+                            kind: RecKind::CollExit {
+                                comm: *comm,
+                                round,
+                                enter_ns,
+                            },
+                        });
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Wait time of one class, in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitBreakdown {
+    /// Receiver idled for a send issued after the receive was posted.
+    pub late_sender_ns: u64,
+    /// Message sat in the eager buffer before the receive was posted.
+    pub late_receiver_ns: u64,
+    /// Early arrival at a collective rendezvous.
+    pub coll_wait_ns: u64,
+}
+
+impl WaitBreakdown {
+    fn add(&mut self, other: &WaitBreakdown) {
+        self.late_sender_ns += other.late_sender_ns;
+        self.late_receiver_ns += other.late_receiver_ns;
+        self.coll_wait_ns += other.coll_wait_ns;
+    }
+
+    /// Late-sender seconds.
+    pub fn late_sender_secs(&self) -> f64 {
+        self.late_sender_ns as f64 / 1e9
+    }
+
+    /// Late-receiver seconds.
+    pub fn late_receiver_secs(&self) -> f64 {
+        self.late_receiver_ns as f64 / 1e9
+    }
+
+    /// Wait-at-collective seconds.
+    pub fn coll_wait_secs(&self) -> f64 {
+        self.coll_wait_ns as f64 / 1e9
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"late_sender_ns\":{},\"late_receiver_ns\":{},\"coll_wait_ns\":{}}}",
+            self.late_sender_ns, self.late_receiver_ns, self.coll_wait_ns
+        )
+    }
+}
+
+/// The classified wait states of one run.
+#[derive(Debug, Clone)]
+pub struct WaitStateReport {
+    /// Per-section breakdown, summed over ranks (keyed by label).
+    pub per_section: BTreeMap<String, WaitBreakdown>,
+    /// Per-world-rank breakdown.
+    pub per_rank: Vec<WaitBreakdown>,
+}
+
+impl WaitStateReport {
+    /// All classes summed over all ranks.
+    pub fn totals(&self) -> WaitBreakdown {
+        let mut t = WaitBreakdown::default();
+        for b in &self.per_rank {
+            t.add(b);
+        }
+        t
+    }
+
+    /// Render the per-section wait-state table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("wait states per section (Scalasca-style classification):\n");
+        let _ = writeln!(
+            out,
+            "{:<32} {:>14} {:>14} {:>14}",
+            "section", "late-sender s", "late-recv s", "coll-wait s"
+        );
+        out.push_str(&"-".repeat(78));
+        out.push('\n');
+        for (label, b) in &self.per_section {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>14.4} {:>14.4} {:>14.4}",
+                crate::report::truncate_label(label, 32),
+                b.late_sender_secs(),
+                b.late_receiver_secs(),
+                b.coll_wait_secs(),
+            );
+        }
+        let t = self.totals();
+        let _ = writeln!(
+            out,
+            "\ntotal waiting: {:.4} s late-sender, {:.4} s late-receiver, {:.4} s at collectives",
+            t.late_sender_secs(),
+            t.late_receiver_secs(),
+            t.coll_wait_secs(),
+        );
+        out
+    }
+
+    /// Machine-readable JSON dump (deterministic key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"sections\":[");
+        for (i, (label, b)) in self.per_section.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"waits\":{}}}",
+                json_str(label),
+                b.to_json()
+            );
+        }
+        out.push_str("],\"per_rank\":[");
+        for (i, b) in self.per_rank.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Classify every wait in the log.
+pub fn classify(log: &CommLog) -> WaitStateReport {
+    let mut per_section: BTreeMap<String, WaitBreakdown> = BTreeMap::new();
+    let mut per_rank = vec![WaitBreakdown::default(); log.ranks.len()];
+    for (rank, rr) in log.ranks.iter().enumerate() {
+        for rec in &rr.recs {
+            let mut delta = WaitBreakdown::default();
+            match rec.kind {
+                RecKind::RecvMatch { seq, post_ns } => {
+                    if let Some(send) = log.sends.get(&seq) {
+                        if send.send_ns > post_ns {
+                            delta.late_sender_ns = send.send_ns - post_ns;
+                        } else {
+                            delta.late_receiver_ns = post_ns - send.send_ns;
+                        }
+                    }
+                }
+                RecKind::CollExit {
+                    comm,
+                    round,
+                    enter_ns,
+                } => {
+                    if let Some(entries) = log.colls.get(&(comm, round)) {
+                        let max_enter = entries.iter().map(|&(_, t)| t).max().unwrap_or(enter_ns);
+                        delta.coll_wait_ns = max_enter.saturating_sub(enter_ns);
+                    }
+                }
+                _ => continue,
+            }
+            per_rank[rank].add(&delta);
+            per_section
+                .entry(log.name(rec.sec).to_string())
+                .or_default()
+                .add(&delta);
+        }
+    }
+    WaitStateReport {
+        per_section,
+        per_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SectionRuntime, VerifyMode};
+    use mpisim::{Src, TagSel, WorldBuilder};
+
+    #[test]
+    fn late_sender_is_classified() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let rec = CommRecorder::new();
+        let s = sections.clone();
+        WorldBuilder::new(2)
+            .tool(sections.clone())
+            .tool(rec.clone())
+            .run(move |p| {
+                let world = p.world();
+                s.scoped(p, &world, "PIPE", |p| {
+                    let world = p.world();
+                    if p.world_rank() == 0 {
+                        let _ = world.recv::<u8>(p, Src::Rank(1), TagSel::Any);
+                    } else {
+                        p.advance_secs(3.0);
+                        world.send(p, 0, 0, &[1u8]);
+                    }
+                });
+            })
+            .unwrap();
+        let report = classify(&rec.freeze());
+        let pipe = report.per_section.get("PIPE").unwrap();
+        let ls = pipe.late_sender_secs();
+        assert!((2.9..3.5).contains(&ls), "late-sender {ls}");
+        assert_eq!(pipe.late_receiver_ns, 0);
+        // The wait happened on rank 0.
+        assert!(report.per_rank[0].late_sender_secs() >= 2.9);
+        assert_eq!(report.per_rank[1].late_sender_ns, 0);
+    }
+
+    #[test]
+    fn late_receiver_is_classified() {
+        let rec = CommRecorder::new();
+        WorldBuilder::new(2)
+            .tool(rec.clone())
+            .run(|p| {
+                let world = p.world();
+                if p.world_rank() == 1 {
+                    world.send(p, 0, 0, &[1u8]);
+                } else {
+                    // Post the receive long after the eager send landed.
+                    p.advance_secs(2.0);
+                    let _ = world.recv::<u8>(p, Src::Rank(1), TagSel::Any);
+                }
+            })
+            .unwrap();
+        let report = classify(&rec.freeze());
+        let t = report.totals();
+        assert_eq!(t.late_sender_ns, 0);
+        let lr = t.late_receiver_secs();
+        assert!((1.9..2.5).contains(&lr), "late-receiver {lr}");
+    }
+
+    #[test]
+    fn collective_wait_blames_straggler_free_ranks() {
+        let rec = CommRecorder::new();
+        WorldBuilder::new(4)
+            .tool(rec.clone())
+            .run(|p| {
+                let world = p.world();
+                if p.world_rank() == 3 {
+                    p.advance_secs(1.0);
+                }
+                world.barrier(p);
+            })
+            .unwrap();
+        let report = classify(&rec.freeze());
+        // Ranks 0..2 each waited ~1 s; the straggler waited ~0.
+        for r in 0..3 {
+            let w = report.per_rank[r].coll_wait_secs();
+            assert!((0.9..1.2).contains(&w), "rank {r} waited {w}");
+        }
+        assert!(report.per_rank[3].coll_wait_secs() < 0.1);
+        // Attributed to MPI_MAIN (no explicit section in this run).
+        assert!(report.per_section.contains_key(crate::section::MPI_MAIN));
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let rec = CommRecorder::new();
+        WorldBuilder::new(2)
+            .tool(rec.clone())
+            .run(|p| {
+                let world = p.world();
+                world.barrier(p);
+            })
+            .unwrap();
+        let report = classify(&rec.freeze());
+        let text = report.render();
+        assert!(text.contains("wait states per section"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"per_rank\":["), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -253,6 +253,7 @@ impl Comm {
             dst_world: dest_world,
             tag,
             seq: envelope.seq,
+            bytes,
             time: p.now,
         });
         p.mailboxes.of(dest_world).deposit(envelope);
@@ -291,6 +292,7 @@ impl Comm {
                 src_world: envelope.src_world,
                 tag: envelope.tag,
                 seq: envelope.seq,
+                bytes: envelope.payload.logical_bytes(),
                 candidates,
                 time: p.now,
             });

@@ -209,7 +209,12 @@ fn push_field(out: &mut String, key: &str, rendered_value: &str) {
     out.push_str(rendered_value);
 }
 
-fn json_str(s: &str) -> String {
+/// Render a string as a JSON string literal (quotes included), escaping
+/// quotes, backslashes and control characters. The workspace builds with no
+/// registry access (no serde), so every hand-rolled JSON emitter — the
+/// diagnostic reports here, the trace/metrics exporters in `mpi-sections` —
+/// shares this one escaper instead of growing ad-hoc copies.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -162,6 +162,8 @@ pub enum MpiEvent {
         /// Global message sequence number; pairs with
         /// [`MpiEvent::RecvMatched::seq`].
         seq: u64,
+        /// Logical payload size of the message.
+        bytes: u64,
         time: VTime,
     },
     /// A blocking receive is about to wait for a matching message. Raised
@@ -186,6 +188,8 @@ pub enum MpiEvent {
         tag: i32,
         /// Sequence number of the consumed message.
         seq: u64,
+        /// Logical payload size of the consumed message.
+        bytes: u64,
         /// Every in-flight message that matched the receive selectors at
         /// the instant of consumption, as `(sender world rank, tag)`. More
         /// than one distinct sender under `Src::Any` is a message race.

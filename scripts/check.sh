@@ -14,4 +14,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> smoke: examples"
+cargo run -q --release --example quickstart > /dev/null
+cargo run -q --release --example check_misuse > /dev/null
+
+echo "==> smoke: profile conv --metrics --trace"
+smoke_trace="$(mktemp /tmp/check-trace.XXXXXX.json)"
+cargo run -q --release -p bench --bin profile -- \
+    conv --p 4 --steps 5 --metrics --trace "$smoke_trace" > /dev/null
+test -s "$smoke_trace" || { echo "empty trace output: $smoke_trace"; exit 1; }
+rm -f "$smoke_trace"
+
 echo "==> all checks passed"
