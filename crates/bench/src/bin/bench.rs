@@ -13,8 +13,10 @@
 //! convolution and LULESH benchmarks on the `ideal` machine with a fixed
 //! seed, so successive runs are comparable.
 
-use mpi_sections::{SectionProfiler, SectionRuntime, VerifyMode};
+use mpi_sections::timeline::{build, Windowing};
+use mpi_sections::{CommRecorder, SectionProfiler, SectionRuntime, VerifyMode};
 use mpisim::WorldBuilder;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Run `pairs` section enter/exit pairs on a single rank and return host
@@ -38,6 +40,32 @@ fn section_pair_ns(pairs: usize, with_profiler: bool) -> f64 {
     start.elapsed().as_nanos() as f64 / pairs as f64
 }
 
+/// Record a convolution run's communication log and return host
+/// microseconds per `timeline::build` call over it — the cost of the
+/// windowed-efficiency engine, paid once per report after the run.
+fn timeline_build_us(p: usize, steps: usize, windows: usize, reps: usize) -> f64 {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    let recorder = CommRecorder::new();
+    let s = sections.clone();
+    let cfg = Arc::new(convolution::ConvConfig::paper(steps));
+    WorldBuilder::new(p)
+        .machine(machine::presets::ideal())
+        .seed(1)
+        .tool(sections.clone())
+        .tool(recorder.clone())
+        .run(move |pr| {
+            convolution::run_convolution(pr, &s, &cfg);
+        })
+        .expect("recorded run failed");
+    let log = recorder.freeze();
+    let windowing = Windowing::Fixed(windows);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(build(&log, &windowing));
+    }
+    start.elapsed().as_nanos() as f64 / 1_000.0 / reps as f64
+}
+
 fn main() {
     let warmup = 10_000;
     let pairs = 200_000;
@@ -59,8 +87,11 @@ fn main() {
     let _ = bench::lulesh_profile(8, s, lulesh_iters, 1, &ideal, 1);
     let lulesh_sps = lulesh_iters as f64 / start.elapsed().as_secs_f64();
 
+    let tl_windows = 8;
+    let tl_us = timeline_build_us(8, conv_steps, tl_windows, 20);
+
     let json = format!(
-        "{{\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}}}\n}}\n",
+        "{{\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}}}\n}}\n",
         (profiled_ns - bare_ns).max(0.0)
     );
 

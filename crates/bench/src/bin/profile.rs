@@ -40,11 +40,27 @@
 //!                  collective divergence and wildcard-receive races are
 //!                  reported as structured diagnostics (exit code 1 on
 //!                  errors); a clean run prints "mpicheck: clean"
+//!   --efficiency   print the windowed POP efficiency report (parallel =
+//!                  load balance x comm, comm = serialization x transfer;
+//!                  one sparkline per metric per section) and the
+//!                  trend-detector table naming degrading sections and
+//!                  their dominant wait-state class
+//!   --timeline FILE  write the per-(window, section) stats and the
+//!                  efficiency hierarchy as CSV
+//!   --windows N    number of fixed-width virtual-time windows (default 8)
+//!   --window-align LABEL  align windows to iterations of the named
+//!                  outermost section (one window per entry observed on
+//!                  rank 0) instead of fixed widths
 //! ```
+//!
+//! With any of the timeline flags active, `--metrics-json` gains a
+//! `timeline` object (windowed stats + per-window wait histograms) and a
+//! `trends` array, and `--trace` gains per-window efficiency counter
+//! lanes under a synthetic "windowed efficiency" Perfetto process.
 
 use mpi_sections::{
     classify, critpath, render, render_bounds, CommRecorder, PvarRegistry, ReportOptions,
-    SectionProfiler, SectionRuntime, TraceTool, VerifyMode,
+    SectionProfiler, SectionRuntime, TraceTool, VerifyMode, Windowing,
 };
 use mpisim::WorldBuilder;
 use std::sync::Arc;
@@ -67,6 +83,32 @@ struct Args {
     comm_matrix: bool,
     flamegraph: Option<String>,
     metrics_json: Option<String>,
+    efficiency: bool,
+    timeline: Option<String>,
+    windows: usize,
+    window_align: Option<String>,
+}
+
+const USAGE: &str = "usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] \
+[--machine M] [--machine-file F] [--seed N] [--trace FILE] [--csv FILE] [--profile-csv FILE] \
+[--check] [--metrics] [--comm-matrix] [--flamegraph FILE] [--metrics-json FILE] [--compare-seq] \
+[--efficiency] [--timeline FILE] [--windows N] [--window-align LABEL]";
+
+/// The operand of flag `argv[i]`, or a usage error if argv ends first.
+fn operand(argv: &[String], i: usize) -> &str {
+    argv.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("error: {} requires a value\n{USAGE}", argv[i]);
+        std::process::exit(2);
+    })
+}
+
+/// The operand of flag `argv[i]` parsed as a number, or a usage error.
+fn numeric_operand<T: std::str::FromStr>(argv: &[String], i: usize) -> T {
+    let raw = operand(argv, i);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: {} expects a number, got '{raw}'\n{USAGE}", argv[i]);
+        std::process::exit(2);
+    })
 }
 
 fn parse() -> Args {
@@ -88,49 +130,53 @@ fn parse() -> Args {
         comm_matrix: false,
         flamegraph: None,
         metrics_json: None,
+        efficiency: false,
+        timeline: None,
+        windows: 8,
+        window_align: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--p" => {
-                args.p = argv[i + 1].parse().expect("--p N");
+                args.p = numeric_operand(&argv, i);
                 i += 2;
             }
             "--threads" => {
-                args.threads = argv[i + 1].parse().expect("--threads N");
+                args.threads = numeric_operand(&argv, i);
                 i += 2;
             }
             "--steps" => {
-                args.steps = argv[i + 1].parse().expect("--steps N");
+                args.steps = numeric_operand(&argv, i);
                 i += 2;
             }
             "--iters" => {
-                args.iters = argv[i + 1].parse().expect("--iters N");
+                args.iters = numeric_operand(&argv, i);
                 i += 2;
             }
             "--machine" => {
-                args.machine = Some(argv[i + 1].clone());
+                args.machine = Some(operand(&argv, i).to_string());
                 i += 2;
             }
             "--machine-file" => {
-                args.machine_file = Some(argv[i + 1].clone());
+                args.machine_file = Some(operand(&argv, i).to_string());
                 i += 2;
             }
             "--seed" => {
-                args.seed = argv[i + 1].parse().expect("--seed N");
+                args.seed = numeric_operand(&argv, i);
                 i += 2;
             }
             "--trace" => {
-                args.trace = Some(argv[i + 1].clone());
+                args.trace = Some(operand(&argv, i).to_string());
                 i += 2;
             }
             "--csv" => {
-                args.csv = Some(argv[i + 1].clone());
+                args.csv = Some(operand(&argv, i).to_string());
                 i += 2;
             }
             "--profile-csv" => {
-                args.profile_csv = Some(argv[i + 1].clone());
+                args.profile_csv = Some(operand(&argv, i).to_string());
                 i += 2;
             }
             "--compare-seq" => {
@@ -150,11 +196,27 @@ fn parse() -> Args {
                 i += 1;
             }
             "--flamegraph" => {
-                args.flamegraph = Some(argv[i + 1].clone());
+                args.flamegraph = Some(operand(&argv, i).to_string());
                 i += 2;
             }
             "--metrics-json" => {
-                args.metrics_json = Some(argv[i + 1].clone());
+                args.metrics_json = Some(operand(&argv, i).to_string());
+                i += 2;
+            }
+            "--efficiency" => {
+                args.efficiency = true;
+                i += 1;
+            }
+            "--timeline" => {
+                args.timeline = Some(operand(&argv, i).to_string());
+                i += 2;
+            }
+            "--windows" => {
+                args.windows = numeric_operand(&argv, i);
+                i += 2;
+            }
+            "--window-align" => {
+                args.window_align = Some(operand(&argv, i).to_string());
                 i += 2;
             }
             w if !w.starts_with("--") && args.workload.is_empty() => {
@@ -162,13 +224,17 @@ fn parse() -> Args {
                 i += 1;
             }
             other => {
-                eprintln!("unknown argument: {other}");
+                eprintln!("error: unknown argument '{other}'\n{USAGE}");
                 std::process::exit(2);
             }
         }
     }
     if args.workload.is_empty() {
-        eprintln!("usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] [--machine M] [--seed N] [--trace FILE] [--csv FILE] [--check] [--metrics] [--comm-matrix] [--flamegraph FILE] [--metrics-json FILE]");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if args.windows == 0 {
+        eprintln!("error: --windows expects N >= 1\n{USAGE}");
         std::process::exit(2);
     }
     args
@@ -227,7 +293,8 @@ fn main() {
     if tracing {
         sections.attach(trace.clone());
     }
-    let observing = args.metrics || args.comm_matrix || args.metrics_json.is_some();
+    let windowing = args.efficiency || args.timeline.is_some();
+    let observing = args.metrics || args.comm_matrix || args.metrics_json.is_some() || windowing;
     let pvar = observing.then(PvarRegistry::new);
     let recorder = observing.then(CommRecorder::new);
 
@@ -344,6 +411,36 @@ fn main() {
     let analysis = comm_log
         .as_ref()
         .map(|log| (classify(log), critpath::extract(log)));
+
+    // The windowed view: time-resolved POP efficiencies per section, the
+    // trend diagnosis on top of them, and the CSV/JSON/counter exports.
+    let windowing_mode = match &args.window_align {
+        Some(label) => Windowing::Aligned(label.clone()),
+        None => Windowing::Fixed(args.windows),
+    };
+    let tl = comm_log
+        .as_ref()
+        .map(|log| mpi_sections::timeline::build(log, &windowing_mode));
+    let trends = tl
+        .as_ref()
+        .map(|tl| speedup::trend::detect(tl, &speedup::trend::TrendConfig::default()));
+    if args.efficiency {
+        let (tl, trends) = (
+            tl.as_ref().expect("recorder"),
+            trends.as_ref().expect("recorder"),
+        );
+        println!("{}", mpi_sections::efficiency::render(tl));
+        println!("{}", speedup::trend::render(trends));
+    }
+    if let Some(path) = &args.timeline {
+        let tl = tl.as_ref().expect("recorder");
+        std::fs::write(path, tl.to_csv()).expect("write timeline csv");
+        println!(
+            "wrote timeline CSV ({} windows) to {path}",
+            tl.windows.len()
+        );
+    }
+
     if args.metrics {
         if let Some(snapshot) = &snapshot {
             println!("{}", snapshot.render_metrics());
@@ -362,13 +459,15 @@ fn main() {
         let (waits, cp) = analysis.as_ref().expect("recorder attached");
         let snapshot = snapshot.as_ref().expect("registry attached");
         let json = format!(
-            "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"pvar\":{},\"waitstate\":{},\"critical_path\":{}}}\n",
+            "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"pvar\":{},\"waitstate\":{},\"critical_path\":{},\"timeline\":{},\"trends\":{}}}\n",
             args.workload,
             args.p,
             args.seed,
             snapshot.to_json(),
             waits.to_json(),
-            cp.to_json()
+            cp.to_json(),
+            tl.as_ref().expect("recorder").to_json(),
+            speedup::trend::to_json(trends.as_ref().expect("recorder")),
         );
         std::fs::write(path, json).expect("write metrics json");
         println!("wrote metrics JSON to {path}");
@@ -436,7 +535,7 @@ fn main() {
     }
 
     if let Some(path) = &args.trace {
-        std::fs::write(path, trace.to_chrome_trace()).expect("write trace");
+        std::fs::write(path, trace.to_chrome_trace_with(tl.as_ref())).expect("write trace");
         println!("wrote Chrome trace ({} spans) to {path}", trace.len());
     }
     if let Some(path) = &args.csv {

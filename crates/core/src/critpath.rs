@@ -172,7 +172,7 @@ pub fn extract(log: &CommLog) -> CriticalPath {
         steps += 1;
         let rec = log.ranks[rank].recs[idx as usize];
         match rec.kind {
-            RecKind::RecvMatch { seq, post_ns } => {
+            RecKind::RecvMatch { seq, post_ns, .. } => {
                 let send = log.sends.get(&seq).copied();
                 let target = send_at.get(&seq).copied();
                 if let (Some(send), Some((src_rank, src_idx))) = (send, target) {

@@ -1,0 +1,293 @@
+//! POP-style efficiency hierarchy over windowed run data.
+//!
+//! The POP Centre of Excellence's multiplicative metric tree factors
+//! *Parallel Efficiency* into orthogonal causes:
+//!
+//! ```text
+//! parallel = load_balance × comm
+//! comm     = serialization × transfer
+//! ```
+//!
+//! computed here per (window, section) cell from [`crate::timeline`]
+//! sums (`Σ` ranges over ranks; `capacity` = nranks × window width, the
+//! window's total rank-time):
+//!
+//! * `load_balance`  = mean(useful) / max(useful) — how evenly the
+//!   section's useful work spreads over ranks; 1.0 means perfectly level.
+//! * `serialization` = 1 − Σwait / capacity — the share of the machine's
+//!   capacity in the window *not* lost to this section's dependency
+//!   waiting (late senders, collective rendezvous); this is where jitter
+//!   accumulation shows up.
+//! * `transfer`      = comm / serialization — the residual factor
+//!   charging the section's transfer time (wire + rendezvous operation).
+//! * `comm` = serialization × transfer = 1 − (Σwait + Σtransfer) /
+//!   capacity.
+//!
+//! Losses are normalized by the window's *capacity*, in the spirit of
+//! POP's "relative to total runtime" convention, rather than by the
+//! section's own presence. The distinction matters for pure-communication
+//! sections like the paper's HALO: their presence is almost entirely wait
+//! time, so presence-relative ratios are pinned near zero from the first
+//! window and cannot trend, while capacity-relative ones start near 1 and
+//! slide exactly as fast as idle waves accumulate — the Fig. 5b signal.
+//! A side benefit: the per-section inefficiencies `1 − comm` are additive
+//! across sections of the same window, so losses can be apportioned.
+//!
+//! [`render`] prints the hierarchy per section as aligned text with
+//! Unicode sparklines — one glyph per window, so an eye-sized report
+//! shows whether a section's communication efficiency is flat or sliding
+//! (the trend detector in `speedup::trend` makes that call numerically).
+
+use crate::timeline::{Timeline, Window, WindowSection};
+use std::fmt::Write as _;
+
+/// The multiplicative POP hierarchy of one (window, section) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiencies {
+    /// `load_balance × comm`.
+    pub parallel: f64,
+    /// mean over ranks of the section's useful time / max over ranks.
+    pub load_balance: f64,
+    /// `serialization × transfer` = 1 − (waits + transfer) / capacity.
+    pub comm: f64,
+    /// Capacity share surviving the section's dependency waits.
+    pub serialization: f64,
+    /// Residual capacity share surviving its transfer time.
+    pub transfer: f64,
+}
+
+impl Efficiencies {
+    /// Derive the hierarchy from one windowed cell. Degenerate cells
+    /// (zero capacity, zero useful work anywhere) report the affected
+    /// factor as 1.0 — "nothing happened" is not an inefficiency.
+    pub fn of(ws: &WindowSection) -> Efficiencies {
+        let cap = ws.capacity_ns as f64;
+        let useful = ws.useful_ns as f64;
+        let wait = (ws.late_sender_ns + ws.coll_wait_ns) as f64;
+
+        let load_balance = if ws.max_useful_ns == 0 || ws.ranks == 0 {
+            1.0
+        } else {
+            (useful / ws.ranks as f64) / ws.max_useful_ns as f64
+        };
+        let serialization = if cap > 0.0 { 1.0 - wait / cap } else { 1.0 };
+        let comm = if cap > 0.0 {
+            1.0 - (wait + ws.transfer_ns as f64) / cap
+        } else {
+            1.0
+        };
+        let transfer = if serialization > 0.0 {
+            comm / serialization
+        } else {
+            1.0
+        };
+
+        Efficiencies {
+            parallel: clamp01(load_balance * comm),
+            load_balance: clamp01(load_balance),
+            comm: clamp01(comm),
+            serialization: clamp01(serialization),
+            transfer: clamp01(transfer),
+        }
+    }
+
+    /// Deterministic JSON object (fixed field order, 6 decimals).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"parallel\":{:.6},\"load_balance\":{:.6},\"comm\":{:.6},\
+             \"serialization\":{:.6},\"transfer\":{:.6}}}",
+            self.parallel, self.load_balance, self.comm, self.serialization, self.transfer
+        )
+    }
+}
+
+fn clamp01(x: f64) -> f64 {
+    if x.is_finite() {
+        x.clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
+const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a `[0, 1]`-valued series as a sparkline on an absolute scale
+/// (1.0 is always `█`), with `·` marking windows where the series has no
+/// value. Efficiency series share one scale, so glyphs compare across
+/// rows and across sections.
+pub fn sparkline(series: &[Option<f64>]) -> String {
+    series
+        .iter()
+        .map(|v| match v {
+            Some(x) => {
+                let idx = (x.clamp(0.0, 1.0) * 8.0).floor() as usize;
+                SPARK_GLYPHS[idx.min(7)]
+            }
+            None => '·',
+        })
+        .collect()
+}
+
+/// Mean of the present values of a series, or `None` if empty.
+fn mean(series: &[Option<f64>]) -> Option<f64> {
+    let vals: Vec<f64> = series.iter().filter_map(|v| *v).collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// First and last present values of a series.
+fn endpoints(series: &[Option<f64>]) -> Option<(f64, f64)> {
+    let first = series.iter().find_map(|v| *v)?;
+    let last = series.iter().rev().find_map(|v| *v)?;
+    Some((first, last))
+}
+
+/// One row of the rendered report: a metric name and its extractor.
+type Metric = (&'static str, fn(&WindowSection) -> f64);
+
+const METRICS: [Metric; 5] = [
+    ("parallel", |ws| ws.efficiency().parallel),
+    ("load balance", |ws| ws.efficiency().load_balance),
+    ("comm", |ws| ws.efficiency().comm),
+    ("serialization", |ws| ws.efficiency().serialization),
+    ("transfer", |ws| ws.efficiency().transfer),
+];
+
+/// Render the windowed efficiency report: per section, one sparkline row
+/// per POP factor, with mean and first→last endpoints.
+pub fn render(tl: &Timeline) -> String {
+    let nwin = tl.windows.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "windowed efficiency (POP hierarchy, {} windows x {:.4} s, {} ranks):",
+        nwin,
+        tl.windows.first().map(Window::width_secs).unwrap_or(0.0),
+        tl.nranks,
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:<16} {:<width$} {:>6} {:>6} {:>7}",
+        "section",
+        "metric",
+        "trajectory",
+        "mean",
+        "first",
+        "last",
+        width = nwin.max("trajectory".len()),
+    );
+    out.push_str(&"-".repeat(24 + 1 + 16 + 1 + nwin.max(10) + 22));
+    out.push('\n');
+    for label in tl.labels() {
+        for (i, (metric, f)) in METRICS.iter().enumerate() {
+            let series = tl.series(label, f);
+            let (Some(m), Some((first, last))) = (mean(&series), endpoints(&series)) else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:<16} {:<width$} {:>6.3} {:>6.3} {:>7.3}",
+                if i == 0 {
+                    crate::report::truncate_label(label, 24)
+                } else {
+                    String::new()
+                },
+                metric,
+                sparkline(&series),
+                m,
+                first,
+                last,
+                width = nwin.max("trajectory".len()),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::WindowSection;
+
+    #[allow(clippy::too_many_arguments)]
+    fn cell(
+        cap: u64,
+        time: u64,
+        useful: u64,
+        ls: u64,
+        cw: u64,
+        tr: u64,
+        max_useful: u64,
+        ranks: usize,
+    ) -> WindowSection {
+        WindowSection {
+            capacity_ns: cap,
+            time_ns: time,
+            useful_ns: useful,
+            late_sender_ns: ls,
+            coll_wait_ns: cw,
+            transfer_ns: tr,
+            max_time_ns: time,
+            max_useful_ns: max_useful,
+            ranks,
+            ..WindowSection::default()
+        }
+    }
+
+    #[test]
+    fn perfect_cell_scores_ones() {
+        // 4 ranks, all useful, perfectly level.
+        let e = Efficiencies::of(&cell(4_000, 4_000, 4_000, 0, 0, 0, 1_000, 4));
+        assert!((e.parallel - 1.0).abs() < 1e-12);
+        assert!((e.load_balance - 1.0).abs() < 1e-12);
+        assert!((e.comm - 1.0).abs() < 1e-12);
+        assert!((e.serialization - 1.0).abs() < 1e-12);
+        assert!((e.transfer - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_is_multiplicative() {
+        let e = Efficiencies::of(&cell(16_000, 10_000, 6_000, 1_500, 500, 2_000, 2_000, 4));
+        assert!((e.comm - e.serialization * e.transfer).abs() < 1e-12);
+        assert!((e.parallel - e.load_balance * e.comm).abs() < 1e-12);
+        // waits = 2000 of 16000 capacity -> serialization 0.875.
+        assert!((e.serialization - 0.875).abs() < 1e-12);
+        // waits + transfer = 4000 of 16000 -> comm 0.75.
+        assert!((e.comm - 0.75).abs() < 1e-12);
+        // mean useful 1500 vs max 2000 -> lb 0.75.
+        assert!((e.load_balance - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cells_are_neutral() {
+        let empty = Efficiencies::of(&WindowSection::default());
+        assert_eq!(empty.parallel, 1.0);
+        assert_eq!(empty.comm, 1.0);
+        // Pure wait (a communication phase absorbing desync): comm tracks
+        // the capacity share lost to the wait, lb stays neutral.
+        let wait = Efficiencies::of(&cell(2_000, 1_000, 0, 1_000, 0, 0, 0, 2));
+        assert_eq!(wait.comm, 0.5);
+        assert_eq!(wait.load_balance, 1.0);
+        assert_eq!(wait.parallel, 0.5);
+        assert_eq!(wait.serialization, 0.5);
+        assert_eq!(wait.transfer, 1.0);
+    }
+
+    #[test]
+    fn sparkline_scale_is_absolute() {
+        let s = sparkline(&[Some(0.0), Some(0.5), Some(1.0), None]);
+        assert_eq!(s, "▁▅█·");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn json_is_balanced_and_fixed_width() {
+        let e = Efficiencies::of(&cell(16_000, 10_000, 6_000, 1_500, 500, 2_000, 2_000, 4));
+        let j = e.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"serialization\":0.875000"), "{j}");
+    }
+}

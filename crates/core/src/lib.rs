@@ -55,6 +55,7 @@ pub mod balance;
 pub mod compare;
 pub mod context;
 pub mod critpath;
+pub mod efficiency;
 pub mod histogram;
 pub mod metrics;
 pub mod pcontrol;
@@ -62,6 +63,7 @@ pub mod profiler;
 pub mod pvar;
 pub mod report;
 pub mod section;
+pub mod timeline;
 pub mod tool;
 pub mod trace;
 pub mod waitstate;
@@ -70,6 +72,7 @@ pub use balance::BalanceReport;
 pub use compare::{ProfileComparison, SectionScaling};
 pub use context::ContextTool;
 pub use critpath::CriticalPath;
+pub use efficiency::Efficiencies;
 pub use histogram::{DurationHistogram, HistogramTool};
 pub use metrics::InstanceStats;
 pub use pcontrol::PcontrolAdapter;
@@ -77,6 +80,7 @@ pub use profiler::{Profile, SectionKey, SectionProfiler, SectionStats};
 pub use pvar::{PvarRegistry, PvarSnapshot};
 pub use report::{render, render_bounds, ReportOptions};
 pub use section::{SectionRuntime, VerifyMode, MPI_MAIN};
+pub use timeline::{Timeline, Window, WindowSection, Windowing};
 pub use tool::{EnterInfo, LeaveInfo, SectionTool};
 pub use trace::{SpanEvent, TraceTool};
 pub use waitstate::{classify, CommRecorder, WaitStateReport};

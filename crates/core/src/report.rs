@@ -136,7 +136,10 @@ pub fn render_bounds(profile: &Profile, seq_total_secs: f64, p: usize) -> String
     out
 }
 
-pub(crate) fn truncate_label(label: &str, max: usize) -> String {
+/// Truncate a section label to `max` characters for table alignment,
+/// marking the cut with `…` (char-safe on multi-byte labels). Public so
+/// downstream report renderers (e.g. `speedup::trend`) align the same way.
+pub fn truncate_label(label: &str, max: usize) -> String {
     if label.chars().count() <= max {
         label.to_string()
     } else {

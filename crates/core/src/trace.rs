@@ -50,6 +50,10 @@ struct FlowEnds {
     dst: Option<(usize, u64, u64)>,
 }
 
+/// Synthetic Chrome-trace pid hosting the efficiency counter lanes —
+/// far above any plausible world size so it never collides with a rank.
+pub const COUNTER_PID: usize = 1_000_000;
+
 /// A tool recording every section traversal as a span, plus message flow
 /// endpoints when attached at the PMPI layer too.
 #[derive(Default)]
@@ -102,6 +106,15 @@ impl TraceTool {
     /// (`ph:"s"` → `ph:"f"`) drawing an arrow from every send to its
     /// matching receive.
     pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_trace_with(None)
+    }
+
+    /// Like [`TraceTool::to_chrome_trace`], plus per-window efficiency
+    /// counter lanes (`ph:"C"`) from a windowed [`crate::Timeline`]:
+    /// Perfetto renders one stepped counter track per section under a
+    /// synthetic "windowed efficiency" process, so metric trajectories sit
+    /// directly under the span rows and flow arrows they explain.
+    pub fn to_chrome_trace_with(&self, timeline: Option<&crate::Timeline>) -> String {
         let spans = self.spans();
         let flows = {
             let flows = self.flows.lock();
@@ -207,6 +220,28 @@ impl TraceTool {
                     dst_ns as f64 / 1e3,
                 ),
             );
+        }
+
+        if let Some(tl) = timeline {
+            // Synthetic pid far above any real rank; sorted after them.
+            let pid = COUNTER_PID;
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"windowed efficiency\"}}}}"
+                ),
+            );
+            emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{pid}}}}}"
+                ),
+            );
+            for ev in tl.counter_events(pid) {
+                emit(&mut out, &mut first, ev);
+            }
         }
 
         out.push(']');
@@ -472,6 +507,40 @@ mod tests {
         };
         lines.sort();
         assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn counter_lanes_ride_next_to_spans() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let trace = TraceTool::new();
+        let rec = crate::CommRecorder::new();
+        sections.attach(trace.clone());
+        let s = sections.clone();
+        WorldBuilder::new(2)
+            .tool(sections.clone())
+            .tool(trace.clone())
+            .tool(rec.clone())
+            .run(move |p| {
+                let world = p.world();
+                for _ in 0..4 {
+                    s.scoped(p, &world, "xchg", |p| {
+                        let world = p.world();
+                        let peer = 1 - p.world_rank();
+                        p.advance_secs(1.0);
+                        world.send(p, peer, 0, &[1u8, 2]);
+                        let _ = world.recv::<u8>(p, Src::Rank(peer), TagSel::Is(0));
+                    });
+                }
+            })
+            .unwrap();
+        let tl = crate::timeline::build(&rec.freeze(), &crate::Windowing::Fixed(4));
+        let json = trace.to_chrome_trace_with(Some(&tl));
+        assert!(json.contains("\"windowed efficiency\""), "{json}");
+        assert!(json.matches("\"ph\":\"C\"").count() >= 4, "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Without a timeline the output is unchanged.
+        assert_eq!(trace.to_chrome_trace(), trace.to_chrome_trace_with(None));
+        assert!(!trace.to_chrome_trace().contains("\"ph\":\"C\""));
     }
 
     #[test]

@@ -68,8 +68,15 @@ pub(crate) enum RecKind {
     Boundary,
     /// An eager send was issued (`seq` keys into [`CommLog::sends`]).
     Send { seq: u64 },
-    /// A receive matched; `post_ns` is when the receive was posted.
-    RecvMatch { seq: u64, post_ns: u64 },
+    /// A receive matched; `post_ns` is when the receive was posted and
+    /// `done_ns` when the enclosing call returned (patched in at
+    /// `CallExit`, the same completion edge the pvar registry uses — the
+    /// `RecvMatched` event itself carries the pre-advance clock).
+    RecvMatch {
+        seq: u64,
+        post_ns: u64,
+        done_ns: u64,
+    },
     /// A collective rendezvous completed; `enter_ns` is this rank's
     /// arrival, `(comm, round)` keys into [`CommLog::colls`].
     CollExit {
@@ -81,11 +88,12 @@ pub(crate) enum RecKind {
     Fini,
 }
 
-/// When a message was sent (the sending rank is recoverable from the
-/// sender's own `Send` record, indexed by `seq`).
+/// When (and how large) a message was sent; the sending rank is
+/// recoverable from the sender's own `Send` record, indexed by `seq`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SendInfo {
     pub(crate) send_ns: u64,
+    pub(crate) bytes: u64,
 }
 
 #[derive(Default)]
@@ -94,6 +102,9 @@ struct RankState {
     /// Open section frames in enter order (across communicators).
     stack: Vec<(CommId, u32)>,
     recv_posted_ns: Option<u64>,
+    /// Index into `recs` of a `RecvMatch` awaiting its `CallExit`
+    /// completion timestamp.
+    pending_recv_rec: Option<usize>,
     coll_pending: Option<(u64, u64)>, // (enter_ns, round)
     coll_rounds: HashMap<CommId, u64>,
     fini_ns: u64,
@@ -132,6 +143,11 @@ impl CommLog {
     /// World size of the recorded run.
     pub fn nranks(&self) -> usize {
         self.ranks.len()
+    }
+
+    /// Virtual end of the run: the last rank's Finalize, in nanoseconds.
+    pub fn makespan_ns(&self) -> u64 {
+        self.ranks.iter().map(|r| r.fini_ns).max().unwrap_or(0)
     }
 }
 
@@ -268,9 +284,17 @@ impl Tool for CommRecorder {
                     });
                 });
             }
-            MpiEvent::SendEnqueued { seq, time, .. } => {
+            MpiEvent::SendEnqueued {
+                seq, time, bytes, ..
+            } => {
                 let t = time.as_nanos();
-                self.sends.lock().insert(*seq, SendInfo { send_ns: t });
+                self.sends.lock().insert(
+                    *seq,
+                    SendInfo {
+                        send_ns: t,
+                        bytes: *bytes,
+                    },
+                );
                 let main = self.main_id();
                 self.with_rank(world_rank, |st| {
                     let sec = st.current_sec(main);
@@ -292,14 +316,30 @@ impl Tool for CommRecorder {
                     let t = time.as_nanos();
                     let post = st.recv_posted_ns.take().unwrap_or(t);
                     let sec = st.current_sec(main);
+                    st.pending_recv_rec = Some(st.recs.len());
                     st.recs.push(Rec {
                         t_ns: t,
                         sec,
                         kind: RecKind::RecvMatch {
                             seq: *seq,
                             post_ns: post,
+                            // Placeholder until the enclosing CallExit.
+                            done_ns: t,
                         },
                     });
+                });
+            }
+            MpiEvent::CallExit { time, .. } => {
+                // A blocking receive's clock advance (waiting out the
+                // sender, the wire and the receive overhead) lands at the
+                // exit of its enclosing call (Recv, Wait or Sendrecv) —
+                // patch the completion edge onto the pending record.
+                self.with_rank(world_rank, |st| {
+                    if let Some(i) = st.pending_recv_rec.take() {
+                        if let RecKind::RecvMatch { done_ns, .. } = &mut st.recs[i].kind {
+                            *done_ns = time.as_nanos();
+                        }
+                    }
                 });
             }
             MpiEvent::CollectiveEnter { comm, time, .. } => {
@@ -464,7 +504,7 @@ pub fn classify(log: &CommLog) -> WaitStateReport {
         for rec in &rr.recs {
             let mut delta = WaitBreakdown::default();
             match rec.kind {
-                RecKind::RecvMatch { seq, post_ns } => {
+                RecKind::RecvMatch { seq, post_ns, .. } => {
                     if let Some(send) = log.sends.get(&seq) {
                         if send.send_ns > post_ns {
                             delta.late_sender_ns = send.send_ns - post_ns;

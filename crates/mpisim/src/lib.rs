@@ -45,6 +45,7 @@ pub mod comm;
 pub mod diag;
 pub mod error;
 pub mod event;
+pub mod jsoncheck;
 pub mod mailbox;
 pub mod message;
 pub mod proc;

@@ -34,6 +34,29 @@ pub fn fit_amdahl_serial_fraction(points: &[(usize, f64)]) -> Option<f64> {
     Some((sxy / sxx).clamp(0.0, 1.0))
 }
 
+/// Ordinary least-squares line through `(x, y)` points: returns
+/// `(slope, intercept)`, or `None` when fewer than two distinct `x`
+/// values remain. The same normal-equation machinery as
+/// [`fit_amdahl_serial_fraction`], exposed generically so metric series
+/// (e.g. per-window efficiencies in `crate::trend`) can be fitted too.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return None;
+    }
+    let sx: f64 = points.iter().map(|&(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|&(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|&(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-30 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((slope, intercept))
+}
+
 /// Root-mean-square relative error of the Amdahl model with serial
 /// fraction `fs` against measured `(p, speedup)` points.
 pub fn amdahl_rms_rel_error(fs: f64, points: &[(usize, f64)]) -> f64 {
@@ -110,6 +133,18 @@ mod tests {
             .collect();
         let fs = fit_amdahl_serial_fraction(&points).unwrap();
         assert!((fs - fs_true).abs() < 0.01, "{fs}");
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 - 0.25 * i as f64)).collect();
+        let (slope, intercept) = linear_fit(&points).unwrap();
+        assert!((slope + 0.25).abs() < 1e-12, "{slope}");
+        assert!((intercept - 3.0).abs() < 1e-12, "{intercept}");
+        assert_eq!(linear_fit(&[]), None);
+        assert_eq!(linear_fit(&[(1.0, 2.0)]), None);
+        // Vertical data (single x) has no defined slope.
+        assert_eq!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]), None);
     }
 
     #[test]

@@ -23,9 +23,10 @@ pub mod partial;
 pub mod series;
 pub mod stats;
 pub mod study;
+pub mod trend;
 
 pub use fit::{
-    amdahl_rms_rel_error, fit_amdahl_serial_fraction, gustafson_serial_fraction,
+    amdahl_rms_rel_error, fit_amdahl_serial_fraction, gustafson_serial_fraction, linear_fit,
     scaled_speedup_measured, weak_efficiency,
 };
 pub use iso::{
@@ -40,6 +41,7 @@ pub use partial::{
 pub use series::{crossover, ScalePoint, ScalingSeries};
 pub use stats::RepStats;
 pub use study::{ScalingStudy, SectionStudy};
+pub use trend::{SectionTrend, TrendConfig};
 
 #[cfg(test)]
 mod tests {

@@ -23,6 +23,20 @@ smoke_trace="$(mktemp /tmp/check-trace.XXXXXX.json)"
 cargo run -q --release -p bench --bin profile -- \
     conv --p 4 --steps 5 --metrics --trace "$smoke_trace" > /dev/null
 test -s "$smoke_trace" || { echo "empty trace output: $smoke_trace"; exit 1; }
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_trace"
 rm -f "$smoke_trace"
+
+echo "==> smoke: profile conv --efficiency --timeline --windows 8"
+smoke_metrics="$(mktemp /tmp/check-metrics.XXXXXX.json)"
+cargo run -q --release -p bench --bin profile -- \
+    conv --p 8 --steps 10 --efficiency --timeline /tmp/tl.csv --windows 8 \
+    --metrics-json "$smoke_metrics" > /dev/null
+test -s /tmp/tl.csv || { echo "empty timeline CSV: /tmp/tl.csv"; exit 1; }
+head -1 /tmp/tl.csv | grep -q '^window,start_ns' \
+    || { echo "timeline CSV missing header"; exit 1; }
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_metrics"
+grep -q '"timeline"' "$smoke_metrics" \
+    || { echo "metrics JSON missing timeline object"; exit 1; }
+rm -f "$smoke_metrics" /tmp/tl.csv
 
 echo "==> all checks passed"

@@ -1,230 +1,9 @@
 //! Shared integration-test helpers.
 //!
-//! The workspace builds with no registry access, so there is no serde to
-//! lean on: every exporter hand-rolls its JSON. [`check_json`] is a small
-//! recursive-descent validator the exporter tests run over each emitted
-//! document, catching the classic hand-rolled-JSON failures (trailing
-//! commas, unescaped quotes, unbalanced brackets) without pulling in a
-//! parser dependency.
+//! The JSON well-formedness checker the exporter tests use lives in
+//! [`mpisim::jsoncheck`] so the `jsoncheck` CLI (used by
+//! `scripts/check.sh` to validate emitted artifacts) can run the exact
+//! same validator; this module just re-exports it for the tests.
 
-/// Validate that `input` is exactly one well-formed JSON value (with
-/// optional surrounding whitespace). Returns the byte offset where
-/// parsing failed, or `Ok(())`.
-pub fn check_json(input: &str) -> Result<(), usize> {
-    let bytes = input.as_bytes();
-    let mut pos = 0;
-    skip_ws(bytes, &mut pos);
-    value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos == bytes.len() {
-        Ok(())
-    } else {
-        Err(pos)
-    }
-}
-
-/// Assert-style wrapper with a readable failure excerpt.
-#[allow(dead_code)] // each integration-test crate uses its own subset
-pub fn assert_json(input: &str, what: &str) {
-    if let Err(pos) = check_json(input) {
-        let lo = pos.saturating_sub(40);
-        let hi = (pos + 40).min(input.len());
-        panic!(
-            "{what}: invalid JSON at byte {pos}: ...{}...",
-            &input[lo..hi]
-        );
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn value(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
-    match bytes.get(*pos) {
-        Some(b'{') => object(bytes, pos),
-        Some(b'[') => array(bytes, pos),
-        Some(b'"') => string(bytes, pos),
-        Some(b't') => literal(bytes, pos, b"true"),
-        Some(b'f') => literal(bytes, pos, b"false"),
-        Some(b'n') => literal(bytes, pos, b"null"),
-        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
-        _ => Err(*pos),
-    }
-}
-
-fn literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), usize> {
-    if bytes[*pos..].starts_with(lit) {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(*pos)
-    }
-}
-
-fn object(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
-    *pos += 1; // consume '{'
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(bytes, pos);
-        string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(*pos);
-        }
-        *pos += 1;
-        skip_ws(bytes, pos);
-        value(bytes, pos)?;
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(*pos),
-        }
-    }
-}
-
-fn array(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
-    *pos += 1; // consume '['
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(bytes, pos);
-        value(bytes, pos)?;
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(*pos),
-        }
-    }
-}
-
-fn string(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(*pos);
-    }
-    *pos += 1;
-    while let Some(&b) = bytes.get(*pos) {
-        match b {
-            b'"' => {
-                *pos += 1;
-                return Ok(());
-            }
-            b'\\' => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
-                    Some(b'u') => {
-                        *pos += 1;
-                        for _ in 0..4 {
-                            if !bytes.get(*pos).is_some_and(|c| c.is_ascii_hexdigit()) {
-                                return Err(*pos);
-                            }
-                            *pos += 1;
-                        }
-                    }
-                    _ => return Err(*pos),
-                }
-            }
-            0x00..=0x1f => return Err(*pos), // raw control char
-            _ => *pos += 1,
-        }
-    }
-    Err(*pos)
-}
-
-fn number(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
-    let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    let mut digits = 0;
-    while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
-        *pos += 1;
-        digits += 1;
-    }
-    if digits == 0 {
-        return Err(start);
-    }
-    if bytes.get(*pos) == Some(&b'.') {
-        *pos += 1;
-        let mut frac = 0;
-        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
-            *pos += 1;
-            frac += 1;
-        }
-        if frac == 0 {
-            return Err(*pos);
-        }
-    }
-    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
-        *pos += 1;
-        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
-            *pos += 1;
-        }
-        let mut exp = 0;
-        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
-            *pos += 1;
-            exp += 1;
-        }
-        if exp == 0 {
-            return Err(*pos);
-        }
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn accepts_valid_documents() {
-        for ok in [
-            "{}",
-            "[]",
-            "null",
-            "-12.5e+3",
-            r#"{"a":[1,2,{"b":"c\n"}],"d":true}"#,
-            "  [1, 2]  ",
-            r#""é""#,
-        ] {
-            assert!(check_json(ok).is_ok(), "{ok}");
-        }
-    }
-
-    #[test]
-    fn rejects_invalid_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\":}",
-            "{\"a\" 1}",
-            "[1] trailing",
-            "\"unterminated",
-            "01x",
-            "1.",
-            "{'single':1}",
-            "{\"raw\ncontrol\":1}",
-        ] {
-            assert!(check_json(bad).is_err(), "accepted: {bad}");
-        }
-    }
-}
+#[allow(unused_imports)] // each integration-test crate uses its own subset
+pub use mpisim::jsoncheck::{assert_json, check_json};

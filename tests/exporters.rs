@@ -7,6 +7,7 @@
 mod common;
 
 use common::assert_json;
+use mpi_sections::timeline::{build, Windowing};
 use mpi_sections::{
     classify, critpath, CommRecorder, PvarRegistry, SectionRuntime, TraceTool, VerifyMode,
 };
@@ -149,6 +150,68 @@ fn critical_path_is_bounded_by_makespan() {
     );
     // Rank 3 computes longest before the ring; its compute is on the path.
     assert!(cp.per_rank[3] > 0);
+}
+
+#[test]
+fn timeline_window_sums_recompose_pvar_section_totals() {
+    // The recomposition invariant: every point event lands in exactly one
+    // window, so per-window counters summed over all windows must equal
+    // the whole-run per-section pvar deltas. (Pvar attribution is
+    // *inclusive* — nested activity also counts into enclosing sections —
+    // while the timeline attributes to the innermost section only, so the
+    // comparison holds for leaf sections; the fixture's sections are all
+    // flat under MPI_MAIN.)
+    let o = observed_run(5);
+    let tl = build(&o.recorder.freeze(), &Windowing::Fixed(9));
+    let totals = tl.section_totals();
+    let snap = o.pvar.snapshot();
+    let mut compared = 0;
+    for (key, c) in &snap.per_section {
+        if key.label == mpi_sections::MPI_MAIN {
+            continue;
+        }
+        let ws = totals
+            .get(&key.label)
+            .unwrap_or_else(|| panic!("timeline missing section {}", key.label));
+        assert_eq!(ws.sent_msgs, c.sent_msgs, "{}", key.label);
+        assert_eq!(ws.sent_bytes, c.sent_bytes, "{}", key.label);
+        assert_eq!(ws.recv_msgs, c.recv_msgs, "{}", key.label);
+        assert_eq!(ws.recv_bytes, c.recv_bytes, "{}", key.label);
+        assert_eq!(ws.coll_exits, c.coll_calls, "{}", key.label);
+        compared += 1;
+    }
+    assert!(compared >= 3, "expected COMPUTE/RING/SYNC, saw {compared}");
+    // The ring moved real traffic, so the invariant is not vacuous.
+    assert_eq!(totals["RING"].sent_msgs, 4);
+    assert_eq!(totals["RING"].sent_bytes, 4 * 128);
+    assert_eq!(totals["SYNC"].coll_exits, 4);
+}
+
+#[test]
+fn timeline_exports_are_byte_identical_across_identical_seeds() {
+    let render = |o: &Observed| {
+        let tl = build(&o.recorder.freeze(), &Windowing::Fixed(6));
+        format!("{}\n{}", tl.to_csv(), tl.to_json())
+    };
+    let a = render(&observed_run(42));
+    let b = render(&observed_run(42));
+    assert_eq!(a, b, "windowed metrics differ between identical seeds");
+    let c = render(&observed_run(43));
+    assert_ne!(a, c, "seed should influence the windowed timings");
+}
+
+#[test]
+fn timeline_and_trend_documents_are_valid_json() {
+    let o = observed_run(1);
+    let tl = build(&o.recorder.freeze(), &Windowing::Fixed(5));
+    assert_json(&tl.to_json(), "timeline");
+    let trends = speedup::trend::detect(&tl, &speedup::trend::TrendConfig::default());
+    assert_json(&speedup::trend::to_json(&trends), "trend report");
+    // Counter lanes keep the Chrome trace valid JSON too.
+    assert_json(
+        &o.trace.to_chrome_trace_with(Some(&tl)),
+        "chrome trace with counter lanes",
+    );
 }
 
 #[test]

@@ -1,0 +1,68 @@
+//! Acceptance-level trend detection: on the noisy machine model, jitter
+//! accumulates across the convolution's time-step loop (the paper's
+//! Fig. 5b mechanism) and the HALO exchange's windowed communication
+//! efficiency must trend downward and be flagged; on the noise-free
+//! machine the same workload's trajectory must stay flat and unflagged.
+
+use mpi_sections::timeline::{build, Timeline, Windowing};
+use mpi_sections::{CommRecorder, SectionRuntime, VerifyMode};
+use mpisim::WorldBuilder;
+use speedup::trend::{detect, TrendConfig};
+use std::sync::Arc;
+
+fn conv_timeline(machine: machine::MachineModel, p: usize, windows: usize) -> Timeline {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let recorder = CommRecorder::new();
+    let s = sections.clone();
+    let cfg = Arc::new(convolution::ConvConfig::paper(100));
+    WorldBuilder::new(p)
+        .machine(machine)
+        .seed(1)
+        .tool(sections.clone())
+        .tool(recorder.clone())
+        .run(move |p| {
+            convolution::run_convolution(p, &s, &cfg);
+        })
+        .expect("conv run failed");
+    build(&recorder.freeze(), &Windowing::Fixed(windows))
+}
+
+#[test]
+fn jitter_accumulation_degrades_halo_and_only_halo_like_sections() {
+    let tl = conv_timeline(machine::presets::nehalem_cluster(), 64, 8);
+    let trends = detect(&tl, &TrendConfig::default());
+    let halo = trends
+        .iter()
+        .find(|t| t.label == convolution::SECTION_HALO)
+        .expect("HALO trend");
+    assert!(halo.degrading, "{halo:?}");
+    assert!(halo.slope < 0.0, "{halo:?}");
+    assert_eq!(halo.dominant_wait, "late-sender");
+    // Compute phases wobble but do not slide.
+    for t in &trends {
+        if t.label == convolution::SECTION_CONVOLVE {
+            assert!(!t.degrading, "{t:?}");
+        }
+    }
+}
+
+#[test]
+fn noise_free_machine_shows_flat_trajectories() {
+    let tl = conv_timeline(machine::presets::ideal(), 64, 8);
+    let trends = detect(&tl, &TrendConfig::default());
+    assert!(
+        trends.iter().all(|t| !t.degrading),
+        "flagged on the ideal machine: {:?}",
+        trends
+            .iter()
+            .filter(|t| t.degrading)
+            .map(|t| (&t.label, t.slope))
+            .collect::<Vec<_>>()
+    );
+    // HALO is present and genuinely analyzed, not just skipped.
+    let halo = trends
+        .iter()
+        .find(|t| t.label == convolution::SECTION_HALO)
+        .expect("HALO trend");
+    assert!(halo.slope.abs() < 1e-3, "{halo:?}");
+}
