@@ -13,6 +13,8 @@
 //!   --threads N    OpenMP-style threads (lulesh)     (default 1)
 //!   --steps N      convolution steps                 (default 100)
 //!   --iters N      lulesh iterations                 (default 100)
+//!   --engine E     threads | des — execution engine   (default: des on
+//!                  x86-64, threads elsewhere; also via MPISIM_ENGINE)
 //!   --machine M    nehalem | knl | broadwell | ideal (default: per workload)
 //!   --machine-file F  load the machine from a `key = value` file (see
 //!                  `machine::config`); overrides --machine
@@ -71,6 +73,7 @@ struct Args {
     threads: usize,
     steps: usize,
     iters: usize,
+    engine: Option<mpisim::Engine>,
     machine: Option<String>,
     machine_file: Option<String>,
     seed: u64,
@@ -90,7 +93,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: profile <conv|lulesh> [--p N] [--threads N] [--steps N] [--iters N] \
-[--machine M] [--machine-file F] [--seed N] [--trace FILE] [--csv FILE] [--profile-csv FILE] \
+[--engine threads|des] [--machine M] [--machine-file F] [--seed N] [--trace FILE] [--csv FILE] [--profile-csv FILE] \
 [--check] [--metrics] [--comm-matrix] [--flamegraph FILE] [--metrics-json FILE] [--compare-seq] \
 [--efficiency] [--timeline FILE] [--windows N] [--window-align LABEL]";
 
@@ -118,6 +121,7 @@ fn parse() -> Args {
         threads: 1,
         steps: 100,
         iters: 100,
+        engine: None,
         machine: None,
         machine_file: None,
         seed: 1,
@@ -153,6 +157,13 @@ fn parse() -> Args {
             }
             "--iters" => {
                 args.iters = numeric_operand(&argv, i);
+                i += 2;
+            }
+            "--engine" => {
+                args.engine = Some(operand(&argv, i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: {e}\n{USAGE}");
+                    std::process::exit(2);
+                }));
                 i += 2;
             }
             "--machine" => {
@@ -325,6 +336,9 @@ fn main() {
                 .machine(m.clone())
                 .seed(args.seed)
                 .tool(sections.clone());
+            if let Some(engine) = args.engine {
+                builder = builder.engine(engine);
+            }
             for t in &extra {
                 builder = builder.tool(t.clone());
             }
@@ -359,6 +373,9 @@ fn main() {
                 .machine(m.clone())
                 .seed(args.seed)
                 .tool(sections.clone());
+            if let Some(engine) = args.engine {
+                builder = builder.engine(engine);
+            }
             for t in &extra {
                 builder = builder.tool(t.clone());
             }

@@ -76,15 +76,32 @@ pub fn measure_convolution(
 
 /// One convolution run, returning the full section profile.
 pub fn conv_profile(p: usize, steps: usize, machine: &MachineModel, seed: u64) -> (Profile, f64) {
+    conv_profile_on(None, p, steps, machine, seed)
+}
+
+/// [`conv_profile`] with an explicit execution engine (`None` keeps the
+/// builder default: DES on x86-64, honoring `MPISIM_ENGINE`). The bench
+/// bin uses this to pin each engine when comparing them.
+pub fn conv_profile_on(
+    engine: Option<mpisim::Engine>,
+    p: usize,
+    steps: usize,
+    machine: &MachineModel,
+    seed: u64,
+) -> (Profile, f64) {
     let sections = SectionRuntime::new(VerifyMode::Off);
     let profiler = SectionProfiler::new();
     sections.attach(profiler.clone());
     let s = sections.clone();
     let cfg = Arc::new(ConvConfig::paper(steps));
-    let report = WorldBuilder::new(p)
+    let mut builder = WorldBuilder::new(p)
         .machine(machine.clone())
         .seed(seed)
-        .tool(sections.clone())
+        .tool(sections.clone());
+    if let Some(engine) = engine {
+        builder = builder.engine(engine);
+    }
+    let report = builder
         .run(move |pr| {
             run_convolution(pr, &s, &cfg);
         })

@@ -148,6 +148,7 @@ mod tests {
                 comm_size: 4,
                 comm_rank: rank,
                 label: Arc::from(label),
+                section: 0,
                 time: VTime::ZERO,
                 occurrence: 0,
                 depth: 0,

@@ -132,6 +132,10 @@ impl HistogramTool {
 impl SectionTool for HistogramTool {
     fn on_enter(&self, _info: &EnterInfo, _data: &mut SectionData) {}
 
+    fn wants_enter(&self) -> bool {
+        false
+    }
+
     fn on_leave(&self, info: &LeaveInfo, _data: &SectionData) {
         self.labels
             .lock()

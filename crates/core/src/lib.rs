@@ -56,6 +56,7 @@ pub mod compare;
 pub mod context;
 pub mod critpath;
 pub mod efficiency;
+pub mod fasthash;
 pub mod histogram;
 pub mod metrics;
 pub mod pcontrol;

@@ -26,6 +26,8 @@ pub struct SectionKey {
 
 #[derive(Default)]
 struct SectionAgg {
+    /// The section's identity — `None` until the first leave lands here.
+    meta: Option<(CommId, Arc<str>)>,
     /// Instances indexed by occurrence.
     instances: Vec<InstanceStats>,
     /// Largest participant count observed.
@@ -39,9 +41,16 @@ struct SectionAgg {
 
 /// The profiler tool. Attach to a [`crate::SectionRuntime`], run, then
 /// [`snapshot`](SectionProfiler::snapshot).
+///
+/// Aggregation is indexed by the runtime's dense section id
+/// ([`LeaveInfo::section`]): folding a leave costs one bounds-checked
+/// array index and no hashing at all. The sorted [`SectionKey`] view is
+/// built once, at [`snapshot`](SectionProfiler::snapshot) time. Because
+/// ids are per-runtime, one profiler instance must not be shared between
+/// two `SectionRuntime`s.
 #[derive(Default)]
 pub struct SectionProfiler {
-    sections: Mutex<BTreeMap<SectionKey, SectionAgg>>,
+    sections: Mutex<Vec<SectionAgg>>,
 }
 
 impl SectionProfiler {
@@ -56,17 +65,22 @@ impl SectionProfiler {
         Profile {
             sections: sections
                 .iter()
-                .map(|(key, agg)| {
-                    (
+                .filter_map(|agg| {
+                    let (comm, label) = agg.meta.as_ref()?;
+                    let key = SectionKey {
+                        comm: *comm,
+                        label: label.to_string(),
+                    };
+                    Some((
                         key.clone(),
                         SectionStats::from_instances(
-                            key.clone(),
+                            key,
                             agg.participants,
                             agg.instances.clone(),
                             agg.per_rank_own.clone(),
                             agg.per_rank_excl.clone(),
                         ),
-                    )
+                    ))
                 })
                 .collect(),
         }
@@ -79,13 +93,20 @@ impl SectionTool for SectionProfiler {
         // timestamp travels in `LeaveInfo`.
     }
 
+    fn wants_enter(&self) -> bool {
+        false
+    }
+
     fn on_leave(&self, info: &LeaveInfo, _data: &SectionData) {
-        let key = SectionKey {
-            comm: info.comm,
-            label: info.label.to_string(),
-        };
         let mut sections = self.sections.lock();
-        let agg = sections.entry(key).or_default();
+        let slot = info.section as usize;
+        if sections.len() <= slot {
+            sections.resize_with(slot + 1, SectionAgg::default);
+        }
+        let agg = &mut sections[slot];
+        if agg.meta.is_none() {
+            agg.meta = Some((info.comm, info.label.clone()));
+        }
         let idx = info.occurrence as usize;
         if agg.instances.len() <= idx {
             agg.instances.resize_with(idx + 1, InstanceStats::default);

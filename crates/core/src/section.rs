@@ -20,14 +20,17 @@
 //!   [`VerifyMode::Off`] for production-scale sweeps, where the shared
 //!   log's lock traffic and growth are measurable.
 
+use crate::fasthash::FastMap;
 use crate::tool::{EnterInfo, LeaveInfo, SectionTool};
 use machine::VTime;
 use mpisim::{
-    diag, Comm, CommId, Diagnostic, DiagnosticKind, MpiEvent, Proc, SectionData, Severity, Tool,
+    diag, Comm, CommId, Diagnostic, DiagnosticKind, EventKind, EventMask, MpiEvent, Proc,
+    SectionData, Severity, Tool,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The label of the implicit outermost section, entered at `MPI_Init` and
 /// left at `MPI_Finalize` (paper §4).
@@ -49,6 +52,8 @@ pub enum VerifyMode {
 /// One open section on one rank.
 struct Frame {
     label: Arc<str>,
+    /// Dense runtime-wide id of the (comm, label) section.
+    id: u32,
     data: SectionData,
     enter: VTime,
     /// Virtual time spent in already-closed child sections (for exclusive
@@ -58,16 +63,44 @@ struct Frame {
     occurrence: u64,
 }
 
-/// Per-rank, per-communicator section state.
+/// Per-(rank, comm) state of one label: occurrence counter plus the
+/// runtime-wide dense section id, both resolved by the same hash probe.
+struct LabelSlot {
+    count: Cell<u64>,
+    id: u32,
+}
+
+/// One rank's section state on one communicator.
 #[derive(Default)]
-struct RankComms {
-    /// Open-section stack per communicator.
-    stacks: HashMap<CommId, Vec<Frame>>,
-    /// Occurrence counters per (communicator, label).
-    occurrences: HashMap<(CommId, Arc<str>), u64>,
-    /// Count of section events (enters + exits) this rank performed, over
-    /// all communicators — the event index carried by misuse diagnostics.
+struct CommSections {
+    /// Open-section stack.
+    stack: Vec<Frame>,
+    /// Occurrence counter per label. The map's keys double as the label
+    /// intern table: after the first enter of a label, subsequent enters
+    /// clone the existing `Arc<str>` instead of re-allocating (the
+    /// dominant cost of the old hot path). `Cell` lets one probe both
+    /// yield the interned key and bump the counter.
+    occurrences: FastMap<Arc<str>, LabelSlot>,
+    /// Count of section events (enters + exits) on this (rank, comm).
+    /// Misuse diagnostics carry the rank-wide index, recovered (cold path
+    /// only) by summing over the rank's communicators.
     events: u64,
+}
+
+/// Shard state: per-(rank, communicator) section stacks. Keying the flat
+/// map by the pair instead of nesting rank → comm maps halves the hash
+/// probes on the enter/exit hot path.
+type Shard = FastMap<(usize, CommId), CommSections>;
+
+/// Rank-wide section-event count (sum over the rank's communicators); all
+/// of a rank's entries live in one shard because the shard index is
+/// derived from the rank alone.
+fn rank_events(shard: &Shard, world_rank: usize) -> u64 {
+    shard
+        .iter()
+        .filter(|((r, _), _)| *r == world_rank)
+        .map(|(_, cs)| cs.events)
+        .sum()
 }
 
 /// One record of the shared verification log.
@@ -84,10 +117,13 @@ struct CommVerify {
     /// perform each step).
     log: Vec<VerifyEvent>,
     /// How far each world rank has progressed through the log.
-    position: HashMap<usize, usize>,
+    position: FastMap<usize, usize>,
 }
 
 const SHARDS: usize = 64;
+
+/// Fixed tool-slot capacity (see [`SectionRuntime::attach`]).
+const MAX_TOOLS: usize = 16;
 
 /// The section runtime. Register it as an `mpisim` tool (for the implicit
 /// `MPI_MAIN` section) and call [`SectionRuntime::enter`]/[`exit`] from the
@@ -97,26 +133,58 @@ const SHARDS: usize = 64;
 /// [`exit`]: SectionRuntime::exit
 pub struct SectionRuntime {
     /// Rank state, sharded by world rank to keep enter/exit non-intrusive.
-    shards: Vec<Mutex<HashMap<usize, RankComms>>>,
+    shards: Vec<Mutex<Shard>>,
     verify: VerifyMode,
-    verify_state: Mutex<HashMap<CommId, CommVerify>>,
-    tools: Mutex<Vec<Arc<dyn SectionTool>>>,
+    verify_state: Mutex<FastMap<CommId, CommVerify>>,
+    /// Attached tools in fixed write-once slots: the dispatch loop reads
+    /// them lock-free (`OnceLock::get` is one `Acquire` load), which
+    /// matters because every section exit walks this list.
+    tools: [OnceLock<Arc<dyn SectionTool>>; MAX_TOOLS],
+    /// Count of published tool slots — lets the hot path skip the
+    /// `LeaveInfo` build entirely when no tool is attached.
+    n_tools: AtomicUsize,
+    /// Cached count of tools whose [`SectionTool::wants_enter`] is true;
+    /// when zero, enters skip `EnterInfo` and the dispatch chain.
+    n_enter_tools: AtomicUsize,
+    /// Runtime-wide dense id per (comm, label) section, assigned in
+    /// first-seen order. Only consulted on a rank's *first* enter of a
+    /// label (cold); afterwards the id rides in the rank's `LabelSlot`.
+    ids: Mutex<FastMap<(CommId, Arc<str>), u32>>,
 }
 
 impl SectionRuntime {
     /// A runtime with the given verification mode and no tools.
     pub fn new(verify: VerifyMode) -> Arc<SectionRuntime> {
         Arc::new(SectionRuntime {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FastMap::default()))
+                .collect(),
             verify,
-            verify_state: Mutex::new(HashMap::new()),
-            tools: Mutex::new(Vec::new()),
+            verify_state: Mutex::new(FastMap::default()),
+            tools: std::array::from_fn(|_| OnceLock::new()),
+            n_tools: AtomicUsize::new(0),
+            n_enter_tools: AtomicUsize::new(0),
+            ids: Mutex::new(FastMap::default()),
         })
     }
 
-    /// Attach a section tool (profiler, debugger, trace writer).
+    /// Attach a section tool (profiler, debugger, trace writer). Tools are
+    /// expected to be attached during setup, before ranks start entering
+    /// sections.
     pub fn attach(&self, tool: Arc<dyn SectionTool>) {
-        self.tools.lock().push(tool);
+        let wants_enter = tool.wants_enter();
+        let n = self.n_tools.load(Ordering::Acquire);
+        assert!(
+            n < MAX_TOOLS,
+            "mpi-sections: at most {MAX_TOOLS} section tools can be attached"
+        );
+        if self.tools[n].set(tool).is_err() {
+            panic!("mpi-sections: concurrent attach; attach tools before the run starts");
+        }
+        if wants_enter {
+            self.n_enter_tools.fetch_add(1, Ordering::Release);
+        }
+        self.n_tools.store(n + 1, Ordering::Release);
     }
 
     /// Enter a section on `comm`. Asynchronous collective: no rank blocks,
@@ -127,16 +195,21 @@ impl SectionRuntime {
             size: comm.size(),
             rank: comm.rank(),
         };
-        self.enter_at(p.world_rank(), info, label, p.now());
-        // Raise the PMPI-level event so generic mpisim tools also see it.
-        p.raise(MpiEvent::SectionEnter {
-            comm: comm.id(),
-            comm_size: comm.size(),
-            comm_rank: comm.rank(),
-            label: Arc::from(label),
-            data: [0; 32],
-            time: p.now(),
-        });
+        // Raise the PMPI-level event so generic mpisim tools also see it —
+        // but only when one subscribed: building it clones the label and
+        // fans out through the tool chain, which dwarfs the bookkeeping.
+        let want = p.wants(EventKind::SectionEnter);
+        let label = self.enter_at(p.world_rank(), info, label, p.now(), want);
+        if let Some(label) = label {
+            p.raise(MpiEvent::SectionEnter {
+                comm: comm.id(),
+                comm_size: comm.size(),
+                comm_rank: comm.rank(),
+                label,
+                data: [0; 32],
+                time: p.now(),
+            });
+        }
     }
 
     /// Exit a section on `comm`. The label must match the innermost open
@@ -147,15 +220,17 @@ impl SectionRuntime {
             size: comm.size(),
             rank: comm.rank(),
         };
-        let data = self.exit_at(p.world_rank(), info, label, p.now());
-        p.raise(MpiEvent::SectionLeave {
-            comm: comm.id(),
-            comm_size: comm.size(),
-            comm_rank: comm.rank(),
-            label: Arc::from(label),
-            data,
-            time: p.now(),
-        });
+        let (data, label) = self.exit_at(p.world_rank(), info, label, p.now());
+        if p.wants(EventKind::SectionLeave) {
+            p.raise(MpiEvent::SectionLeave {
+                comm: comm.id(),
+                comm_size: comm.size(),
+                comm_rank: comm.rank(),
+                label,
+                data,
+                time: p.now(),
+            });
+        }
     }
 
     /// Run `body` inside a section (exit guaranteed on normal return).
@@ -192,6 +267,7 @@ impl SectionRuntime {
             },
             label,
             time,
+            false,
         );
     }
 
@@ -218,88 +294,144 @@ impl SectionRuntime {
     /// Depth of open sections for a rank on a communicator (diagnostics).
     pub fn depth(&self, world_rank: usize, comm: CommId) -> usize {
         let shard = self.shards[world_rank % SHARDS].lock();
-        shard
-            .get(&world_rank)
-            .and_then(|rc| rc.stacks.get(&comm))
-            .map_or(0, |s| s.len())
+        shard.get(&(world_rank, comm)).map_or(0, |c| c.stack.len())
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
-    fn enter_at(&self, world_rank: usize, comm: CommInfo, label: &str, now: VTime) {
-        let label: Arc<str> = Arc::from(label);
-        self.verify_step(world_rank, comm.id, VerifyEvent::Enter(label.clone()));
-        let (occurrence, depth) = {
+    fn enter_at(
+        &self,
+        world_rank: usize,
+        comm: CommInfo,
+        label: &str,
+        now: VTime,
+        want_label: bool,
+    ) -> Option<Arc<str>> {
+        self.verify_step(world_rank, comm.id, true, label);
+        let enter_tools = self.n_enter_tools.load(Ordering::Acquire) > 0;
+        // Clone the interned label out of the lock only when someone will
+        // actually look at it (event raise or an enter-side tool).
+        let need_label = want_label || enter_tools;
+        let (label, id, occurrence, depth) = {
             let mut shard = self.shards[world_rank % SHARDS].lock();
-            let rc = shard.entry(world_rank).or_default();
-            rc.events += 1;
-            let counter = rc.occurrences.entry((comm.id, label.clone())).or_insert(0);
-            let occurrence = *counter;
-            *counter += 1;
-            let stack = rc.stacks.entry(comm.id).or_default();
-            let depth = stack.len();
-            stack.push(Frame {
-                label: label.clone(),
+            let cs = shard.entry((world_rank, comm.id)).or_default();
+            cs.events += 1;
+            // Intern: after the first enter of a label, reuse the map
+            // key's allocation instead of `Arc::from`-ing every call. The
+            // `Cell` counter makes one probe serve both lookup and bump,
+            // and the slot carries the dense section id alongside.
+            let (label, id, occurrence) = match cs.occurrences.get_key_value(label) {
+                Some((interned, slot)) => {
+                    let occurrence = slot.count.get();
+                    slot.count.set(occurrence + 1);
+                    (interned.clone(), slot.id, occurrence)
+                }
+                None => {
+                    let interned: Arc<str> = Arc::from(label);
+                    // First enter of this label on this (rank, comm):
+                    // resolve the runtime-wide dense id (cold path).
+                    let id = {
+                        let mut ids = self.ids.lock();
+                        let next = ids.len() as u32;
+                        *ids.entry((comm.id, interned.clone())).or_insert(next)
+                    };
+                    cs.occurrences.insert(
+                        interned.clone(),
+                        LabelSlot {
+                            count: Cell::new(1),
+                            id,
+                        },
+                    );
+                    (interned, id, 0)
+                }
+            };
+            let depth = cs.stack.len();
+            let ret = need_label.then(|| label.clone());
+            cs.stack.push(Frame {
+                label,
+                id,
                 data: [0; 32],
                 enter: now,
                 child_time: VTime::ZERO,
                 occurrence,
             });
-            (occurrence, depth)
+            (ret, id, occurrence, depth)
         };
-        let info = EnterInfo {
-            world_rank,
-            comm: comm.id,
-            comm_size: comm.size,
-            comm_rank: comm.rank,
-            label: label.clone(),
-            time: now,
-            occurrence,
-            depth,
-        };
-        // Tools may write their context into the 32-byte blob; the runtime
-        // stores whatever they leave there.
-        let mut data = [0u8; 32];
-        for tool in self.tools.lock().iter() {
-            tool.on_enter(&info, &mut data);
-        }
-        if data != [0u8; 32] {
-            let mut shard = self.shards[world_rank % SHARDS].lock();
-            if let Some(frame) = shard
-                .get_mut(&world_rank)
-                .and_then(|rc| rc.stacks.get_mut(&comm.id))
-                .and_then(|s| s.last_mut())
-            {
-                frame.data = data;
+        // Leave-side tools (the profiler) fold everything at exit; when no
+        // attached tool acts on enters, skip the info build and dispatch.
+        if enter_tools {
+            let info = EnterInfo {
+                world_rank,
+                comm: comm.id,
+                comm_size: comm.size,
+                comm_rank: comm.rank,
+                label: label.clone().expect("label retained for enter tools"),
+                section: id,
+                time: now,
+                occurrence,
+                depth,
+            };
+            // Tools may write their context into the 32-byte blob; the
+            // runtime stores whatever they leave there.
+            let mut data = [0u8; 32];
+            for slot in &self.tools[..self.n_tools.load(Ordering::Acquire)] {
+                if let Some(tool) = slot.get() {
+                    tool.on_enter(&info, &mut data);
+                }
             }
+            if data != [0u8; 32] {
+                let mut shard = self.shards[world_rank % SHARDS].lock();
+                if let Some(frame) = shard
+                    .get_mut(&(world_rank, comm.id))
+                    .and_then(|c| c.stack.last_mut())
+                {
+                    frame.data = data;
+                }
+            }
+        }
+        if want_label {
+            label
+        } else {
+            None
         }
     }
 
-    fn exit_at(&self, world_rank: usize, comm: CommInfo, label: &str, now: VTime) -> SectionData {
-        let label: Arc<str> = Arc::from(label);
-        self.verify_step(world_rank, comm.id, VerifyEvent::Exit(label.clone()));
+    fn exit_at(
+        &self,
+        world_rank: usize,
+        comm: CommInfo,
+        label: &str,
+        now: VTime,
+    ) -> (SectionData, Arc<str>) {
+        self.verify_step(world_rank, comm.id, false, label);
         let (frame, depth) = {
             let mut shard = self.shards[world_rank % SHARDS].lock();
-            let rc = shard.entry(world_rank).or_default();
-            let event_index = rc.events;
-            rc.events += 1;
-            let stack = rc.stacks.entry(comm.id).or_default();
-            let open: Vec<String> = stack.iter().map(|f| f.label.to_string()).collect();
-            let frame = stack.pop().unwrap_or_else(|| {
+            let cs = shard.entry((world_rank, comm.id)).or_default();
+            cs.events += 1;
+            let Some(frame) = cs.stack.pop() else {
+                // Cold path: the rank-wide event index (pre-bump) is
+                // recovered by summing the rank's per-comm counters.
+                let event_index = rank_events(&shard, world_rank) - 1;
                 section_misuse(
                     world_rank,
                     comm.id,
-                    open.clone(),
+                    Vec::new(),
                     event_index,
                     format!(
                         "mpi-sections: exit of '{label}' on rank {world_rank} \
                          with no open section"
                     ),
                 )
-            });
-            if frame.label != label {
+            };
+            if &*frame.label != label {
+                // The misuse-context stack (cold path only: snapshotting
+                // every open label on every exit is what the hot path pays
+                // for otherwise).
+                let mut open: Vec<String> = cs.stack.iter().map(|f| f.label.to_string()).collect();
+                open.push(frame.label.to_string());
+                let event_index = rank_events(&shard, world_rank) - 1;
                 section_misuse(
                     world_rank,
                     comm.id,
@@ -314,33 +446,44 @@ impl SectionRuntime {
             }
             let duration = now - frame.enter;
             // Credit our inclusive duration to the parent's child time.
-            if let Some(parent) = stack.last_mut() {
+            if let Some(parent) = cs.stack.last_mut() {
                 parent.child_time += duration;
             }
-            (frame, stack.len())
+            (frame, cs.stack.len())
         };
-        let duration = now - frame.enter;
-        let exclusive = duration - frame.child_time;
-        let info = LeaveInfo {
-            world_rank,
-            comm: comm.id,
-            comm_size: comm.size,
-            comm_rank: comm.rank,
-            label,
-            enter_time: frame.enter,
-            time: now,
-            duration,
-            exclusive,
-            occurrence: frame.occurrence,
-            depth,
-        };
-        for tool in self.tools.lock().iter() {
-            tool.on_leave(&info, &frame.data);
+        let n_tools = self.n_tools.load(Ordering::Acquire);
+        if n_tools > 0 {
+            let duration = now - frame.enter;
+            let exclusive = duration - frame.child_time;
+            // The frame is consumed here, so its label moves into the
+            // info (and back out for the return) without touching the
+            // Arc's refcount.
+            let info = LeaveInfo {
+                world_rank,
+                comm: comm.id,
+                comm_size: comm.size,
+                comm_rank: comm.rank,
+                label: frame.label,
+                section: frame.id,
+                enter_time: frame.enter,
+                time: now,
+                duration,
+                exclusive,
+                occurrence: frame.occurrence,
+                depth,
+            };
+            for slot in &self.tools[..n_tools] {
+                if let Some(tool) = slot.get() {
+                    tool.on_leave(&info, &frame.data);
+                }
+            }
+            (frame.data, info.label)
+        } else {
+            (frame.data, frame.label)
         }
-        frame.data
     }
 
-    fn verify_step(&self, world_rank: usize, comm: CommId, event: VerifyEvent) {
+    fn verify_step(&self, world_rank: usize, comm: CommId, is_enter: bool, label: &str) {
         if self.verify == VerifyMode::Off {
             return;
         }
@@ -348,13 +491,27 @@ impl SectionRuntime {
         let cv = state.entry(comm).or_default();
         let pos = cv.position.entry(world_rank).or_insert(0);
         if *pos == cv.log.len() {
-            cv.log.push(event);
+            let label: Arc<str> = Arc::from(label);
+            cv.log.push(if is_enter {
+                VerifyEvent::Enter(label)
+            } else {
+                VerifyEvent::Exit(label)
+            });
         } else {
             assert!(
                 *pos < cv.log.len(),
                 "mpi-sections: verification position overran the log"
             );
-            if cv.log[*pos] != event {
+            let agrees = match &cv.log[*pos] {
+                VerifyEvent::Enter(l) => is_enter && &**l == label,
+                VerifyEvent::Exit(l) => !is_enter && &**l == label,
+            };
+            if !agrees {
+                let event = if is_enter {
+                    VerifyEvent::Enter(Arc::from(label))
+                } else {
+                    VerifyEvent::Exit(Arc::from(label))
+                };
                 let message = format!(
                     "mpi-sections: section order violation on rank {world_rank}: \
                      expected {:?} at step {pos}, got {event:?}",
@@ -372,17 +529,11 @@ impl SectionRuntime {
     /// consistently with the callers.
     fn rank_snapshot(&self, world_rank: usize, comm: CommId) -> (Vec<String>, u64) {
         let shard = self.shards[world_rank % SHARDS].lock();
-        match shard.get(&world_rank) {
-            Some(rc) => {
-                let labels = rc
-                    .stacks
-                    .get(&comm)
-                    .map(|s| s.iter().map(|f| f.label.to_string()).collect())
-                    .unwrap_or_default();
-                (labels, rc.events)
-            }
-            None => (Vec::new(), 0),
-        }
+        let labels = shard
+            .get(&(world_rank, comm))
+            .map(|c| c.stack.iter().map(|f| f.label.to_string()).collect())
+            .unwrap_or_default();
+        (labels, rank_events(&shard, world_rank))
     }
 }
 
@@ -416,6 +567,13 @@ struct CommInfo {
 /// `MPI_MAIN` management: as an `mpisim` tool, the runtime opens the
 /// implicit section at `Init` and closes it at `Finalize` (paper §4).
 impl Tool for SectionRuntime {
+    /// Only the lifecycle events matter here — subscribing to everything
+    /// would route every send/recv/section event of every rank through a
+    /// no-op match arm.
+    fn interests(&self) -> EventMask {
+        EventMask::LIFECYCLE
+    }
+
     fn on_event(&self, world_rank: usize, event: &MpiEvent) {
         match event {
             MpiEvent::Init { size, time } => {
@@ -428,6 +586,7 @@ impl Tool for SectionRuntime {
                     },
                     MPI_MAIN,
                     *time,
+                    false,
                 );
             }
             MpiEvent::Finalize { time } => {
@@ -453,13 +612,11 @@ impl Tool for SectionRuntime {
     /// message carries the phase the rank died in.
     fn rank_context(&self, world_rank: usize) -> Option<String> {
         let shard = self.shards[world_rank % SHARDS].lock();
-        let rc = shard.get(&world_rank)?;
-        let mut parts: Vec<String> = rc
-            .stacks
+        let mut parts: Vec<String> = shard
             .iter()
-            .filter(|(_, stack)| !stack.is_empty())
-            .map(|(comm, stack)| {
-                let labels: Vec<&str> = stack.iter().map(|f| &*f.label).collect();
+            .filter(|((r, _), cs)| *r == world_rank && !cs.stack.is_empty())
+            .map(|((_, comm), cs)| {
+                let labels: Vec<&str> = cs.stack.iter().map(|f| &*f.label).collect();
                 format!("comm {}: {}", comm.0, labels.join(" > "))
             })
             .collect();

@@ -29,6 +29,11 @@ pub struct EnterInfo {
     pub comm_rank: usize,
     /// The section label.
     pub label: Arc<str>,
+    /// Dense id of this (comm, label) section, assigned by the runtime in
+    /// first-seen order and stable within one `SectionRuntime`. Tools can
+    /// index flat arrays with it instead of re-hashing `(comm, label)` on
+    /// every event.
+    pub section: u32,
     /// Virtual entry time on this rank (`Tin` in the paper's Fig. 3).
     pub time: VTime,
     /// How many times this (comm, label) was entered before on this rank.
@@ -45,6 +50,8 @@ pub struct LeaveInfo {
     pub comm_size: usize,
     pub comm_rank: usize,
     pub label: Arc<str>,
+    /// Dense runtime-assigned section id (see [`EnterInfo::section`]).
+    pub section: u32,
     /// Entry time of the matching enter (`Tin`).
     pub enter_time: VTime,
     /// Exit time on this rank (`Tout`).
@@ -72,4 +79,14 @@ pub trait SectionTool: Send + Sync {
     /// The matching section was left; `data` is whatever the tool (or any
     /// earlier tool in the chain) stored at enter.
     fn on_leave(&self, info: &LeaveInfo, data: &SectionData);
+
+    /// Does this tool do anything in [`SectionTool::on_enter`]? Sampled
+    /// once at attach time (must be constant): when every attached tool
+    /// answers `false`, the runtime skips building [`EnterInfo`] and
+    /// dispatching the enter chain entirely. Leave-side tools like the
+    /// streaming profiler fold everything at leave, so their enters are
+    /// pure overhead.
+    fn wants_enter(&self) -> bool {
+        true
+    }
 }

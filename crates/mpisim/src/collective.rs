@@ -75,11 +75,23 @@ pub struct Rendezvous {
     p: usize,
     state: Mutex<RvState>,
     cv: Condvar,
+    /// World ranks of the participants, indexed by local rank — who the
+    /// DES scheduler must wake when the collective completes. `None` for
+    /// standalone rendezvous (unit tests) that only run under threads.
+    members: Option<Arc<Vec<usize>>>,
 }
 
 impl Rendezvous {
     /// A rendezvous for `p` participants.
     pub fn new(p: usize) -> Self {
+        Rendezvous::with_members(p, None)
+    }
+
+    /// A rendezvous whose participants are the given world ranks (indexed
+    /// by local rank). The registry always uses this form so the DES
+    /// engine knows which fibers to revive.
+    pub fn with_members(p: usize, members: Option<Arc<Vec<usize>>>) -> Self {
+        debug_assert!(members.as_ref().is_none_or(|m| m.len() == p));
         Rendezvous {
             p,
             state: Mutex::new(RvState {
@@ -92,6 +104,17 @@ impl Rendezvous {
                 done: HashMap::new(),
             }),
             cv: Condvar::new(),
+            members,
+        }
+    }
+
+    /// Under the DES engine, make every (other) participant runnable.
+    #[cfg(target_arch = "x86_64")]
+    fn des_wake_members(&self, scheduler: &crate::des::Scheduler) {
+        if let Some(members) = &self.members {
+            for &world_rank in members.iter() {
+                scheduler.wake(world_rank);
+            }
         }
     }
 
@@ -166,6 +189,10 @@ impl Rendezvous {
             st.total_bytes = 0;
             st.op = None;
             st.entries.iter_mut().for_each(|e| *e = VTime::ZERO);
+            #[cfg(target_arch = "x86_64")]
+            if crate::des::with_active(|s| self.des_wake_members(s)).is_some() {
+                return (gen, done);
+            }
             self.cv.notify_all();
             (gen, done)
         } else {
@@ -175,6 +202,16 @@ impl Rendezvous {
                     return (gen, done.clone());
                 }
                 poison.check();
+                #[cfg(target_arch = "x86_64")]
+                if crate::des::is_active() {
+                    // Suspend this fiber; the last arriver (or the poison
+                    // path) re-queues it. Release the state lock first —
+                    // peers run on this same scheduler thread.
+                    drop(st);
+                    crate::des::with_active(|s| s.block_current());
+                    st = self.state.lock();
+                    continue;
+                }
                 self.cv.wait(&mut st);
             }
         }
@@ -196,6 +233,10 @@ impl Rendezvous {
 
     /// Wake all blocked participants (world poisoning).
     pub fn wake_all(&self) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::des::with_active(|s| self.des_wake_members(s)).is_some() {
+            return;
+        }
         let _guard = self.state.lock();
         self.cv.notify_all();
     }

@@ -17,7 +17,7 @@
 //!   operation by the rendezvous machinery.
 
 use crate::collective::{Done, Rendezvous, Slot};
-use crate::event::{CommId, MpiCall, MpiEvent};
+use crate::event::{CommId, EventKind, MpiCall, MpiEvent};
 use crate::message::{Envelope, Payload, Src, TagSel};
 use crate::proc::Proc;
 use machine::{DetRng, Topology, VTime};
@@ -68,10 +68,11 @@ impl Registry {
     /// Create a communicator with a caller-derived (deterministic) id.
     pub(crate) fn register_with_id(&self, id: CommId, world_ranks: Vec<usize>) -> Arc<CommShared> {
         let spans_nodes = self.topology.spans_nodes(&world_ranks);
+        let world_ranks = Arc::new(world_ranks);
         let shared = Arc::new(CommShared {
             id,
-            rendezvous: Rendezvous::new(world_ranks.len()),
-            world_ranks: Arc::new(world_ranks),
+            rendezvous: Rendezvous::with_members(world_ranks.len(), Some(world_ranks.clone())),
+            world_ranks,
             spans_nodes,
         });
         self.all.lock().push(shared.clone());
@@ -242,20 +243,22 @@ impl Comm {
             src_world: p.world_rank,
             tag,
             send_end: p.now,
-            seq: p.seq.fetch_add(1, Ordering::Relaxed),
+            seq: p.next_seq(),
             payload,
         };
         // Raised before the deposit becomes visible: an analyzer's
         // in-flight set then always covers what receivers can match.
-        p.raise(MpiEvent::SendEnqueued {
-            comm: self.id(),
-            dst_local: dest,
-            dst_world: dest_world,
-            tag,
-            seq: envelope.seq,
-            bytes,
-            time: p.now,
-        });
+        if p.wants(EventKind::SendEnqueued) {
+            p.raise(MpiEvent::SendEnqueued {
+                comm: self.id(),
+                dst_local: dest,
+                dst_world: dest_world,
+                tag,
+                seq: envelope.seq,
+                bytes,
+                time: p.now,
+            });
+        }
         p.mailboxes.of(dest_world).deposit(envelope);
         bytes
     }
@@ -268,8 +271,7 @@ impl Comm {
                 self.size()
             );
         }
-        let observing = !p.tools.is_empty();
-        if observing {
+        if p.wants(EventKind::RecvBlocked) {
             p.raise(MpiEvent::RecvBlocked {
                 comm: self.id(),
                 src,
@@ -278,13 +280,33 @@ impl Comm {
                 time: p.now,
             });
         }
-        let (envelope, candidates) = p.mailboxes.of(p.world_rank).take_matching_observed(
-            self.id(),
-            src,
-            tag,
-            &p.mailboxes.poison,
-            observing,
-        );
+        // Candidate observation is only paid for when a tool subscribed
+        // to RecvMatched (it is what a race analyzer joins on).
+        let observing = p.wants(EventKind::RecvMatched);
+        #[cfg(target_arch = "x86_64")]
+        let des_hit = crate::des::with_active(|s| {
+            s.recv_match(
+                p.world_rank,
+                p.now,
+                self.id(),
+                src,
+                tag,
+                observing,
+                &p.mailboxes.poison,
+            )
+        });
+        #[cfg(not(target_arch = "x86_64"))]
+        let des_hit: Option<(Envelope, Vec<(usize, i32)>)> = None;
+        let (envelope, candidates) = match des_hit {
+            Some(hit) => hit,
+            None => p.mailboxes.of(p.world_rank).take_matching_observed(
+                self.id(),
+                src,
+                tag,
+                &p.mailboxes.poison,
+                observing,
+            ),
+        };
         if observing {
             p.raise(MpiEvent::RecvMatched {
                 comm: self.id(),
@@ -413,13 +435,31 @@ impl Comm {
 
     /// Non-blocking probe: is a matching message already queued?
     ///
-    /// Answers from *real-time* mailbox state: a `false` may become `true`
-    /// the moment the sender's OS thread gets scheduled, independent of
-    /// virtual time. Deterministic protocols should poll in a loop (as
-    /// `RecvReq::test` users do) or use blocking receives; a single probe's
-    /// outcome is not reproducible across runs.
+    /// Under the threads engine this answers from *real-time* mailbox
+    /// state: a `false` may become `true` the moment the sender's OS
+    /// thread gets scheduled, independent of virtual time — a single
+    /// probe's outcome is not reproducible across runs. Under the DES
+    /// engine a miss parks the caller as a *poller* (revived by the next
+    /// deposit into its mailbox or when every other rank is blocked or
+    /// done) before reporting `false`, so poll loops make progress and
+    /// probe outcomes are deterministic. Deterministic protocols should
+    /// poll in a loop (as `RecvReq::test` users do) or use blocking
+    /// receives.
     pub fn probe(&self, p: &Proc, src: Src, tag: TagSel) -> bool {
-        p.mailboxes.of(p.world_rank).probe(self.id(), src, tag)
+        let mailbox = p.mailboxes.of(p.world_rank);
+        let hit = mailbox.probe(self.id(), src, tag);
+        #[cfg(target_arch = "x86_64")]
+        if !hit {
+            crate::des::with_active(|s| {
+                // Yield so peers can run; report the miss afterwards (the
+                // caller decides whether to keep polling). The poison
+                // check makes a spin loop unwind with its peers.
+                s.note_clock(p.world_rank, p.now);
+                s.park_poller();
+                p.mailboxes.poison.check();
+            });
+        }
+        hit
     }
 
     // ------------------------------------------------------------------
@@ -449,13 +489,17 @@ impl Comm {
         let psize = self.size();
         // Raised before `arrive`: an analyzer sees the rank as (possibly)
         // blocked in the collective before the rendezvous can park it.
-        p.raise(MpiEvent::CollectiveEnter {
-            op,
-            comm: cid,
-            members: self.shared.world_ranks.clone(),
-            root,
-            time: p.now,
-        });
+        if p.wants(EventKind::CollectiveEnter) {
+            p.raise(MpiEvent::CollectiveEnter {
+                op,
+                comm: cid,
+                members: self.shared.world_ranks.clone(),
+                root,
+                time: p.now,
+            });
+        }
+        #[cfg(target_arch = "x86_64")]
+        crate::des::with_active(|s| s.note_clock(p.world_rank, p.now));
         let (gen, done) = self.shared.rendezvous.arrive(
             self.local_rank,
             op,
@@ -475,11 +519,13 @@ impl Comm {
             &p.mailboxes.poison,
         );
         p.now = done.exit;
-        p.raise(MpiEvent::CollectiveExit {
-            op,
-            comm: cid,
-            time: p.now,
-        });
+        if p.wants(EventKind::CollectiveExit) {
+            p.raise(MpiEvent::CollectiveExit {
+                op,
+                comm: cid,
+                time: p.now,
+            });
+        }
         (gen, done)
     }
 

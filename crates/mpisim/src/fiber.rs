@@ -1,0 +1,358 @@
+//! Stackful fibers: the cooperative tasks behind the discrete-event engine.
+//!
+//! Each virtual rank runs on its own heap-allocated stack and is entered
+//! and left through a hand-written x86-64 context switch that saves only
+//! the System-V callee-saved state (rbp, rbx, r12–r15, mxcsr, x87 control
+//! word). A switch is ~20 ns, and a suspended fiber costs nothing but the
+//! pages its stack has actually touched — which is what makes 16k+ ranks
+//! on one OS thread practical where 16k threads are not.
+//!
+//! The module is intentionally minimal: [`Fiber::resume`] enters a fiber
+//! from the scheduler, [`suspend_current`] switches the running fiber back
+//! out. There is no preemption and no cross-thread migration; a fiber
+//! resumes on whichever OS thread calls `resume`, and the simulator drives
+//! all fibers of a world from one scheduler thread.
+//!
+//! Safety containment: this is the only place in the workspace (together
+//! with the thread-local scheduler handle in `des.rs`) that needs
+//! `unsafe`; the workspace-wide `unsafe_code = "deny"` lint is re-allowed
+//! for exactly these two modules.
+#![allow(unsafe_code)]
+
+use std::alloc::{alloc, dealloc, Layout};
+use std::arch::naked_asm;
+use std::cell::Cell;
+
+/// Default stack size per fiber. Large enough for the workload crates'
+/// deepest frames (section scopes + collective internals), small enough
+/// that 16384 fibers reserve only virtual address space: untouched stack
+/// pages are never committed.
+pub const DEFAULT_STACK_SIZE: usize = 512 * 1024;
+
+/// Value planted at the low end of every fiber stack; if a fiber ever
+/// grows past its stack the canary is the first thing it tramples.
+const STACK_CANARY: u64 = 0xFEED_FACE_CAFE_F1BE;
+
+/// Callee-saved context frame the switch pushes: 6 GP registers, plus a
+/// 16-byte slot holding mxcsr / the x87 control word, plus the return
+/// address consumed by `ret`.
+const CTX_FRAME: usize = 6 * 8 + 16 + 8;
+
+// The saved-state handshake: `switch_context(save, load)` pushes the
+// callee-saved registers of the *current* stack, stores rsp through
+// `save`, installs the stack pointer read from `load`, pops the same
+// frame and returns on the new stack. Both sides of every switch are this
+// one function, so the frame layout only has to agree with itself — and
+// with `seed_stack` below, which fabricates the frame a brand-new fiber
+// is first "restored" from.
+#[unsafe(naked)]
+unsafe extern "C" fn switch_context(_save: *mut *mut u8, _load: *mut *mut u8) {
+    naked_asm!(
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "sub rsp, 16",
+        "stmxcsr [rsp]",
+        "fnstcw [rsp + 4]",
+        "mov [rdi], rsp",
+        "mov rsp, [rsi]",
+        "ldmxcsr [rsp]",
+        "fldcw [rsp + 4]",
+        "add rsp, 16",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    )
+}
+
+// First code a new fiber executes: the seeded frame parked the FiberInner
+// pointer in rbx (a callee-saved register, so the restore sequence above
+// delivers it for free). Realign the stack and call into Rust.
+#[unsafe(naked)]
+unsafe extern "C" fn trampoline() {
+    naked_asm!(
+        "mov rdi, rbx",
+        "and rsp, -16",
+        "call {entry}",
+        "ud2",
+        entry = sym fiber_entry,
+    )
+}
+
+extern "C" fn fiber_entry(inner: *mut FiberInner) -> ! {
+    // SAFETY: `inner` is the boxed FiberInner whose address was seeded
+    // into the new fiber's rbx by `seed_stack`; the box outlives the
+    // fiber (it is owned by the `Fiber` that resumed us).
+    let inner = unsafe { &mut *inner };
+    let entry = inner.entry.take().expect("fiber entered twice");
+    // The simulator wraps every rank body in catch_unwind, so a panic
+    // reaching this frame is a harness bug; unwinding must never cross
+    // the context-switch assembly.
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(entry)).is_err() {
+        eprintln!("mpisim: panic escaped a fiber's unwind net; aborting");
+        std::process::abort();
+    }
+    inner.done = true;
+    loop {
+        // Hand control back to the scheduler forever; a done fiber is
+        // never resumed again, but a spurious resume must not fall off
+        // the end of the stack.
+        // SAFETY: same save/load discipline as `suspend_current`.
+        unsafe { switch_context(&mut inner.fiber_rsp, &mut inner.caller_rsp) };
+    }
+}
+
+/// Per-fiber bookkeeping. Boxed so its address is stable while the fiber
+/// holds a pointer to it in a register.
+struct FiberInner {
+    /// Where the fiber's stack pointer is parked while it is suspended.
+    fiber_rsp: *mut u8,
+    /// Where the resuming caller's stack pointer is parked while the
+    /// fiber runs.
+    caller_rsp: *mut u8,
+    done: bool,
+    entry: Option<Box<dyn FnOnce()>>,
+}
+
+thread_local! {
+    /// The fiber currently running on this OS thread (null outside any).
+    static RUNNING: Cell<*mut FiberInner> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// A suspended or runnable fiber owning its stack.
+pub struct Fiber {
+    inner: Box<FiberInner>,
+    stack: *mut u8,
+    layout: Layout,
+}
+
+impl Fiber {
+    /// Create a fiber that will run `entry` when first resumed.
+    ///
+    /// # Safety
+    ///
+    /// The `'a` borrow inside `entry` is erased to `'static`. The caller
+    /// must keep everything `entry` borrows alive until this `Fiber` has
+    /// either run to completion or been dropped — the scheduler satisfies
+    /// this by owning all fibers in the same scope as the borrowed state
+    /// and never resuming a fiber after that scope unwinds.
+    pub unsafe fn new<'a>(stack_size: usize, entry: Box<dyn FnOnce() + 'a>) -> Fiber {
+        let entry: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(entry) };
+        let size = stack_size.max(16 * 1024) & !15;
+        let layout = Layout::from_size_align(size, 16).expect("fiber stack layout");
+        // SAFETY: layout has non-zero size; alloc failure is checked.
+        let stack = unsafe { alloc(layout) };
+        assert!(!stack.is_null(), "fiber stack allocation failed");
+        // SAFETY: the canary slot is the lowest 8 bytes of the fresh stack.
+        unsafe { (stack as *mut u64).write(STACK_CANARY) };
+        let mut inner = Box::new(FiberInner {
+            fiber_rsp: std::ptr::null_mut(),
+            caller_rsp: std::ptr::null_mut(),
+            done: false,
+            entry: Some(entry),
+        });
+        // SAFETY: stack covers [stack, stack+size); seed_stack writes the
+        // initial context frame at its high end.
+        inner.fiber_rsp = unsafe { seed_stack(stack, size, &mut *inner) };
+        Fiber {
+            inner,
+            stack,
+            layout,
+        }
+    }
+
+    /// Run the fiber until it suspends or finishes; returns `true` once
+    /// the fiber's entry function has returned.
+    pub fn resume(&mut self) -> bool {
+        assert!(!self.inner.done, "resumed a finished fiber");
+        let inner: *mut FiberInner = &mut *self.inner;
+        let previous = RUNNING.with(|running| running.replace(inner));
+        // SAFETY: both pointers are fields of the live boxed FiberInner;
+        // the seeded (or previously saved) fiber_rsp points into this
+        // fiber's own stack allocation.
+        unsafe { switch_context(&mut (*inner).caller_rsp, &mut (*inner).fiber_rsp) };
+        RUNNING.with(|running| running.set(previous));
+        // SAFETY: the canary slot was initialised in `new`.
+        let canary = unsafe { (self.stack as *const u64).read() };
+        assert!(
+            canary == STACK_CANARY,
+            "fiber stack overflow (raise the engine's stack size)"
+        );
+        self.inner.done
+    }
+}
+
+impl Drop for Fiber {
+    fn drop(&mut self) {
+        // Dropping an unfinished fiber abandons its stack without running
+        // the destructors of frames parked on it — a leak, never UB. The
+        // scheduler only drops unfinished fibers while unwinding from a
+        // harness-level failure.
+        // SAFETY: allocated with this exact layout in `new`.
+        unsafe { dealloc(self.stack, self.layout) };
+    }
+}
+
+/// Suspend the currently running fiber, returning control to whoever
+/// called [`Fiber::resume`]. Panics when called from outside any fiber.
+pub fn suspend_current() {
+    let inner = RUNNING.with(|running| running.get());
+    assert!(!inner.is_null(), "suspend_current outside a fiber");
+    // SAFETY: `inner` was installed by the `resume` frame still live on
+    // the caller side of this switch.
+    unsafe { switch_context(&mut (*inner).fiber_rsp, &mut (*inner).caller_rsp) };
+}
+
+/// Is the calling code executing inside a fiber?
+#[cfg(test)]
+pub fn in_fiber() -> bool {
+    RUNNING.with(|running| !running.get().is_null())
+}
+
+/// Write the initial context frame a fresh fiber is "restored" from and
+/// return the stack pointer to load. Layout mirrors `switch_context`'s
+/// restore path exactly: mxcsr/fcw slot, r15..rbx..rbp, return address
+/// (the trampoline), plus a null frame-pointer backstop above it.
+///
+/// # Safety
+///
+/// `stack` must point to a live allocation of `size` bytes.
+unsafe fn seed_stack(stack: *mut u8, size: usize, inner: *mut FiberInner) -> *mut u8 {
+    let top = unsafe { stack.add(size) };
+    let frame = unsafe { top.sub(CTX_FRAME).cast::<u64>() };
+    unsafe {
+        frame.write(0x1F80); // [rsp]   mxcsr (default), [rsp+4] fcw below
+        frame.cast::<u32>().add(1).write(0x037F); // x87 default control word
+        frame.add(1).write(0); // pad to 16 bytes
+        frame.add(2).write(0); // r15
+        frame.add(3).write(0); // r14
+        frame.add(4).write(0); // r13
+        frame.add(5).write(0); // r12
+        frame.add(6).write(inner as u64); // rbx -> FiberInner
+        frame.add(7).write(0); // rbp
+        frame.add(8).write(trampoline as *const () as usize as u64); // ret target
+    }
+    frame.cast::<u8>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn runs_to_completion() {
+        let hit = Rc::new(Cell::new(false));
+        let h = hit.clone();
+        let mut f = unsafe { Fiber::new(64 * 1024, Box::new(move || h.set(true))) };
+        assert!(f.resume());
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn suspend_and_resume_interleave() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let mut f = unsafe {
+            Fiber::new(
+                64 * 1024,
+                Box::new(move || {
+                    l.borrow_mut().push("a");
+                    suspend_current();
+                    l.borrow_mut().push("b");
+                    suspend_current();
+                    l.borrow_mut().push("c");
+                }),
+            )
+        };
+        assert!(!f.resume());
+        log.borrow_mut().push("between");
+        assert!(!f.resume());
+        assert!(f.resume());
+        assert_eq!(*log.borrow(), ["a", "between", "b", "c"]);
+    }
+
+    #[test]
+    fn many_fibers_round_robin() {
+        let counter = Rc::new(Cell::new(0u64));
+        let mut fibers: Vec<Fiber> = (0..100)
+            .map(|_| {
+                let c = counter.clone();
+                unsafe {
+                    Fiber::new(
+                        32 * 1024,
+                        Box::new(move || {
+                            for _ in 0..10 {
+                                c.set(c.get() + 1);
+                                suspend_current();
+                            }
+                        }),
+                    )
+                }
+            })
+            .collect();
+        let mut live = fibers.len();
+        while live > 0 {
+            live = 0;
+            for f in &mut fibers {
+                if !f.inner.done && !f.resume() {
+                    live += 1;
+                }
+            }
+        }
+        assert_eq!(counter.get(), 1000);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible() {
+        let mut total = 0u64;
+        {
+            let t = &mut total;
+            let mut f = unsafe { Fiber::new(32 * 1024, Box::new(move || *t = 41 + 1)) };
+            assert!(f.resume());
+        }
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn in_fiber_reflects_context() {
+        assert!(!in_fiber());
+        let seen = Rc::new(Cell::new(false));
+        let s = seen.clone();
+        let mut f = unsafe { Fiber::new(32 * 1024, Box::new(move || s.set(in_fiber()))) };
+        f.resume();
+        assert!(seen.get());
+        assert!(!in_fiber());
+    }
+
+    #[test]
+    fn float_state_survives_switches() {
+        // The context switch saves mxcsr/fcw; computed values live in
+        // caller-saved xmm registers across the call boundary, but FP
+        // results must still be correct after interleaved fibers.
+        let out = Rc::new(Cell::new(0.0f64));
+        let o = out.clone();
+        let mut f = unsafe {
+            Fiber::new(
+                32 * 1024,
+                Box::new(move || {
+                    let x = 1.5f64;
+                    suspend_current();
+                    o.set(x * 2.0 + 0.25);
+                }),
+            )
+        };
+        assert!(!f.resume());
+        let _noise = (0..100).map(|i| (i as f64).sqrt()).sum::<f64>();
+        assert!(f.resume());
+        assert_eq!(out.get(), 3.25);
+    }
+}

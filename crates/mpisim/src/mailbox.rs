@@ -1,10 +1,19 @@
 //! Per-rank mailboxes: the matching queues behind point-to-point messaging.
 //!
 //! Each world rank owns one mailbox. Senders deposit [`Envelope`]s; the
-//! receiving rank's thread blocks on its own mailbox until a matching
-//! envelope appears. Matching scans in arrival order, which preserves MPI's
+//! receiving rank blocks on its own mailbox until a matching envelope
+//! appears. Matching scans in arrival order, which preserves MPI's
 //! non-overtaking rule for a fixed `(source, communicator)` pair because a
 //! sender deposits its messages in program order.
+//!
+//! How a receiver blocks depends on the execution engine: under the
+//! threads engine it parks its OS thread on the mailbox condvar; under
+//! the DES engine its fiber suspends into the event queue and the
+//! depositing sender re-queues it (`crate::des`). A DES world is
+//! single-threaded by construction, so its message queues live inside
+//! the scheduler (plain `RefCell` storage, no mutex) — the `Mutex` +
+//! `Condvar` pair below is only touched by the threads engine. Both
+//! paths share the same matching semantics and poison protocol.
 //!
 //! Mailboxes participate in world poisoning: when any rank fails, waiters
 //! are woken and unwind instead of blocking forever.
@@ -47,20 +56,45 @@ impl Poison {
 pub struct Mailbox {
     queue: Mutex<Vec<Envelope>>,
     arrived: Condvar,
+    /// World rank this mailbox belongs to — the rank the DES scheduler
+    /// wakes when a message lands here.
+    owner: usize,
 }
 
 impl Default for Mailbox {
     fn default() -> Self {
-        Mailbox {
-            queue: Mutex::new(Vec::new()),
-            arrived: Condvar::new(),
-        }
+        Mailbox::for_rank(0)
     }
 }
 
 impl Mailbox {
-    /// Deposit a message (called from the sender's thread).
+    /// The mailbox of world rank `owner`.
+    pub fn for_rank(owner: usize) -> Self {
+        Mailbox {
+            queue: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+            owner,
+        }
+    }
+
+    /// Deposit a message (called from the sending rank).
     pub fn deposit(&self, envelope: Envelope) {
+        #[cfg(target_arch = "x86_64")]
+        let envelope = {
+            // `with_active` may not run the closure (no scheduler on this
+            // thread), so the envelope is passed through an Option to keep
+            // ownership when the closure never executes.
+            let mut env = Some(envelope);
+            let routed = crate::des::with_active(|s| {
+                s.deposit(self.owner, env.take().expect("deposit closure runs once"));
+                s.wake(self.owner);
+            });
+            if routed.is_some() {
+                return;
+            }
+            env.take()
+                .expect("envelope retained when no scheduler is active")
+        };
         self.queue.lock().push(envelope);
         self.arrived.notify_all();
     }
@@ -84,6 +118,23 @@ impl Mailbox {
         poison: &Poison,
         observe: bool,
     ) -> (Envelope, Vec<(usize, i32)>) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::des::is_active() {
+            // Single scheduler thread: match against the scheduler-resident
+            // queue without any lock. On a miss the fiber suspends into the
+            // event queue; the depositing sender re-queues it. No wakeup can
+            // be lost — nothing else runs between the scan and suspension.
+            loop {
+                poison.check();
+                if let Some(hit) =
+                    crate::des::with_active(|s| s.try_take(self.owner, comm, src, tag, observe))
+                        .flatten()
+                {
+                    return hit;
+                }
+                crate::des::with_active(|s| s.block_current());
+            }
+        }
         let mut queue = self.queue.lock();
         loop {
             poison.check();
@@ -105,11 +156,19 @@ impl Mailbox {
 
     /// Non-blocking probe: is a matching message already here?
     pub fn probe(&self, comm: CommId, src: Src, tag: TagSel) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(hit) = crate::des::with_active(|s| s.queue_probe(self.owner, comm, src, tag)) {
+            return hit;
+        }
         self.queue.lock().iter().any(|e| e.matches(comm, src, tag))
     }
 
     /// Number of queued messages (diagnostics).
     pub fn len(&self) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(n) = crate::des::with_active(|s| s.queue_len(self.owner)) {
+            return n;
+        }
         self.queue.lock().len()
     }
 
@@ -120,6 +179,10 @@ impl Mailbox {
 
     /// Wake all waiters (used when poisoning the world).
     pub fn wake_all(&self) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::des::with_active(|s| s.wake(self.owner)).is_some() {
+            return;
+        }
         // Acquire the lock so a waiter between its poison check and its
         // wait() cannot miss the notification.
         let _guard = self.queue.lock();
@@ -137,7 +200,7 @@ impl MailboxSet {
     /// Create mailboxes for `nranks` ranks.
     pub fn new(nranks: usize, poison: Arc<Poison>) -> Self {
         MailboxSet {
-            boxes: (0..nranks).map(|_| Mailbox::default()).collect(),
+            boxes: (0..nranks).map(Mailbox::for_rank).collect(),
             poison,
         }
     }

@@ -7,11 +7,10 @@
 //! communication via the operations on [`crate::Comm`].
 
 use crate::comm::{Comm, CommShared, Registry};
-use crate::event::{CommId, MpiCall, MpiEvent};
+use crate::event::{CommId, EventKind, MpiCall, MpiEvent};
 use crate::mailbox::MailboxSet;
 use crate::tool::ToolSet;
 use machine::{DetRng, MachineModel, VTime, Work};
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Distinguishes the purpose of each deterministic random stream so the
@@ -34,7 +33,9 @@ pub struct Proc {
     pub(crate) tools: ToolSet,
     pub(crate) mailboxes: Arc<MailboxSet>,
     pub(crate) registry: Arc<Registry>,
-    pub(crate) seq: Arc<AtomicU64>,
+    /// Count of messages this rank has sent; the low bits of its message
+    /// sequence numbers (see [`Proc::next_seq`]).
+    pub(crate) sent: u64,
     pub(crate) seed: u64,
     pub(crate) ranks_on_my_node: usize,
     pub(crate) world_shared: Arc<CommShared>,
@@ -49,7 +50,6 @@ impl Proc {
         tools: ToolSet,
         mailboxes: Arc<MailboxSet>,
         registry: Arc<Registry>,
-        seq: Arc<AtomicU64>,
         seed: u64,
         world_shared: Arc<CommShared>,
     ) -> Self {
@@ -67,7 +67,7 @@ impl Proc {
             tools,
             mailboxes,
             registry,
-            seq,
+            sent: 0,
             seed,
             ranks_on_my_node,
             world_shared,
@@ -169,6 +169,26 @@ impl Proc {
         }
     }
 
+    /// Does any attached tool subscribe to events of `kind`? Hot paths
+    /// (inside the runtime and in layered runtimes like `mpi-sections`)
+    /// check this before building an event at all.
+    #[inline]
+    pub fn wants(&self, kind: EventKind) -> bool {
+        self.tools.wants(kind)
+    }
+
+    /// Next message sequence number: the sender's world rank in the high
+    /// bits over a per-rank send counter. Globally unique and — unlike a
+    /// shared atomic counter — independent of how ranks interleave, so
+    /// trace flow ids and analyzer join keys are identical across both
+    /// execution engines and across reruns.
+    #[inline]
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        let n = self.sent;
+        self.sent += 1;
+        ((self.world_rank as u64) << 40) | n
+    }
+
     /// `MPI_Pcontrol(level)`: a pure tool notification with tool-defined
     /// semantics (§6 related work: how IPM outlines phases). Costs nothing
     /// and does nothing unless a tool interprets it.
@@ -181,7 +201,7 @@ impl Proc {
 
     #[inline]
     pub(crate) fn tool_call_enter(&self, call: MpiCall, comm: CommId) {
-        if !self.tools.is_empty() {
+        if self.wants(EventKind::CallEnter) {
             self.tools.raise(
                 self.world_rank,
                 &MpiEvent::CallEnter {
@@ -195,7 +215,7 @@ impl Proc {
 
     #[inline]
     pub(crate) fn tool_call_exit(&self, call: MpiCall, comm: CommId, bytes: u64) {
-        if !self.tools.is_empty() {
+        if self.wants(EventKind::CallExit) {
             self.tools.raise(
                 self.world_rank,
                 &MpiEvent::CallExit {

@@ -1,18 +1,34 @@
 //! The tool (PMPI interposition) interface.
 //!
 //! A [`Tool`] observes every [`MpiEvent`] raised by every rank. Tools are
-//! registered on the world before launch and shared across rank threads, so
-//! implementations must be `Send + Sync` and are expected to keep per-rank
-//! state sharded (e.g. a `Mutex<Vec<_>>` indexed by rank) to stay
-//! non-intrusive — exactly the constraint a real PMPI tool faces.
+//! registered on the world before launch and shared by every rank — under
+//! the threads engine concurrently across rank threads, under the DES
+//! engine from the one scheduler thread — so implementations must be
+//! `Send + Sync` and are expected to keep per-rank state sharded (e.g. a
+//! `Mutex<Vec<_>>` indexed by rank) to stay non-intrusive — exactly the
+//! constraint a real PMPI tool faces.
+//!
+//! Tools additionally declare an *interest mask* ([`Tool::interests`]):
+//! the runtime unions the masks of all attached tools and skips building
+//! events no tool subscribed to, which keeps a lightly-instrumented
+//! 16k-rank run close to uninstrumented speed.
 
-use crate::event::MpiEvent;
+use crate::event::{EventKind, EventMask, MpiEvent};
 use std::sync::Arc;
 
 /// A performance/debugging tool observing runtime events.
 pub trait Tool: Send + Sync {
-    /// Called synchronously on the acting rank's thread for every event.
+    /// Called synchronously on the acting rank for every event whose kind
+    /// is in [`Tool::interests`].
     fn on_event(&self, world_rank: usize, event: &MpiEvent);
+
+    /// The event kinds this tool wants delivered. Defaults to every kind;
+    /// override to let the runtime skip constructing unneeded events
+    /// (the analyzer-grade ones clone member lists and candidate sets).
+    /// The mask is sampled once at launch; it must be constant.
+    fn interests(&self) -> EventMask {
+        EventMask::ALL
+    }
 
     /// Called once after the run completes (all ranks joined), with the
     /// number of ranks. Default: no-op.
@@ -27,10 +43,23 @@ pub trait Tool: Send + Sync {
     }
 }
 
-/// The ordered set of tools attached to a world.
-#[derive(Clone, Default)]
+/// The ordered set of tools attached to a world. Each tool's interest
+/// mask is sampled once at construction and cached next to it, so
+/// per-event filtering costs a bit test, not a virtual call.
+#[derive(Clone)]
 pub struct ToolSet {
-    tools: Arc<Vec<Arc<dyn Tool>>>,
+    tools: Arc<Vec<(EventMask, Arc<dyn Tool>)>>,
+    /// Union of every attached tool's interest mask.
+    mask: EventMask,
+}
+
+impl Default for ToolSet {
+    fn default() -> Self {
+        ToolSet {
+            tools: Arc::new(Vec::new()),
+            mask: EventMask::NONE,
+        }
+    }
 }
 
 impl ToolSet {
@@ -41,8 +70,14 @@ impl ToolSet {
 
     /// Build from a list of tools.
     pub fn from_tools(tools: Vec<Arc<dyn Tool>>) -> Self {
+        let tools: Vec<(EventMask, Arc<dyn Tool>)> =
+            tools.into_iter().map(|t| (t.interests(), t)).collect();
+        let mask = tools
+            .iter()
+            .fold(EventMask::NONE, |m, (tm, _)| m.union(*tm));
         ToolSet {
             tools: Arc::new(tools),
+            mask,
         }
     }
 
@@ -52,17 +87,30 @@ impl ToolSet {
         self.tools.is_empty()
     }
 
-    /// Deliver an event to every tool, in registration order.
+    /// Does any attached tool want events of `kind`? Callers use this to
+    /// skip constructing the event entirely.
+    #[inline]
+    pub fn wants(&self, kind: EventKind) -> bool {
+        self.mask.contains(kind)
+    }
+
+    /// Deliver an event to every subscribed tool, in registration order.
     #[inline]
     pub fn raise(&self, world_rank: usize, event: &MpiEvent) {
-        for tool in self.tools.iter() {
-            tool.on_event(world_rank, event);
+        let kind = event.kind();
+        if !self.mask.contains(kind) {
+            return;
+        }
+        for (tool_mask, tool) in self.tools.iter() {
+            if tool_mask.contains(kind) {
+                tool.on_event(world_rank, event);
+            }
         }
     }
 
     /// Deliver the end-of-run notification.
     pub fn complete(&self, nranks: usize) {
-        for tool in self.tools.iter() {
+        for (_, tool) in self.tools.iter() {
             tool.on_run_complete(nranks);
         }
     }
@@ -72,7 +120,7 @@ impl ToolSet {
     pub fn rank_context(&self, world_rank: usize) -> Vec<String> {
         self.tools
             .iter()
-            .filter_map(|t| t.rank_context(world_rank))
+            .filter_map(|(_, t)| t.rank_context(world_rank))
             .collect()
     }
 }
@@ -93,6 +141,17 @@ mod tests {
     impl Tool for Counter {
         fn on_event(&self, _rank: usize, _event: &MpiEvent) {
             self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A tool subscribed to lifecycle events only.
+    struct LifecycleOnly(AtomicUsize);
+    impl Tool for LifecycleOnly {
+        fn on_event(&self, _rank: usize, _event: &MpiEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+        fn interests(&self) -> EventMask {
+            EventMask::LIFECYCLE
         }
     }
 
@@ -118,5 +177,36 @@ mod tests {
         assert!(set.is_empty());
         set.raise(0, &MpiEvent::Finalize { time: VTime::ZERO });
         set.complete(4);
+    }
+
+    #[test]
+    fn interest_masks_filter_delivery() {
+        let narrow = Arc::new(LifecycleOnly(AtomicUsize::new(0)));
+        let wide = Arc::new(Counter(AtomicUsize::new(0)));
+        let set = ToolSet::from_tools(vec![narrow.clone(), wide.clone()]);
+        assert!(set.wants(EventKind::Init));
+        assert!(set.wants(EventKind::Pcontrol)); // wide tool wants ALL
+        set.raise(
+            0,
+            &MpiEvent::Init {
+                size: 1,
+                time: VTime::ZERO,
+            },
+        );
+        set.raise(
+            0,
+            &MpiEvent::Pcontrol {
+                level: 1,
+                time: VTime::ZERO,
+            },
+        );
+        assert_eq!(narrow.0.load(Ordering::Relaxed), 1, "Pcontrol filtered");
+        assert_eq!(wide.0.load(Ordering::Relaxed), 2);
+
+        // A set with only the narrow tool rejects non-lifecycle kinds
+        // outright, so callers can skip event construction.
+        let set = ToolSet::from_tools(vec![narrow.clone()]);
+        assert!(set.wants(EventKind::Finalize));
+        assert!(!set.wants(EventKind::SendEnqueued));
     }
 }

@@ -39,4 +39,18 @@ grep -q '"timeline"' "$smoke_metrics" \
     || { echo "metrics JSON missing timeline object"; exit 1; }
 rm -f "$smoke_metrics" /tmp/tl.csv
 
+echo "==> smoke: DES scale, conv --p 4096 (time-boxed)"
+smoke_scale="$(mktemp /tmp/check-scale.XXXXXX.json)"
+scale_start="$(date +%s)"
+cargo run -q --release -p bench --bin profile -- \
+    conv --p 4096 --steps 10 --engine des --machine ideal \
+    --metrics --metrics-json "$smoke_scale" > /dev/null
+scale_secs="$(( $(date +%s) - scale_start ))"
+# Generous box: the run itself takes ~1 s; anything near a minute means
+# the event queue has regressed to thread-like scaling.
+test "$scale_secs" -le 60 \
+    || { echo "p=4096 DES smoke took ${scale_secs}s (> 60s box)"; exit 1; }
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_scale"
+rm -f "$smoke_scale"
+
 echo "==> all checks passed"
