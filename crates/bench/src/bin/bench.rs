@@ -16,7 +16,9 @@
 //! Since the discrete-event engine landed, the file also pins the scale
 //! trajectory: `ranks_max` (largest p exercised, with its wall time),
 //! `steps_per_sec_vs_p` (convolution throughput at p = 8…16384 on the
-//! DES engine), and the p = 64 DES-vs-threads comparison.
+//! DES engine), and the p = 64 DES-vs-threads comparison. The dynamic
+//! verifier adds `verify_schedules_per_sec`: full forced re-executions
+//! of a 4-rank wildcard world per host second under `mpiverify::explore`.
 
 use mpi_sections::timeline::{build, Windowing};
 use mpi_sections::{CommRecorder, SectionProfiler, SectionRuntime, VerifyMode};
@@ -71,6 +73,52 @@ fn timeline_build_us(p: usize, steps: usize, windows: usize, reps: usize) -> f64
     start.elapsed().as_nanos() as f64 / 1_000.0 / reps as f64
 }
 
+/// Verifier throughput: explored schedules (full forced re-executions of
+/// a 4-rank wildcard-fold world) per host second, best of `reps`.
+fn verify_schedules_per_sec(reps: usize) -> f64 {
+    let run = |ctl: &std::sync::Arc<mpiverify::ScheduleController>| {
+        let result = mpisim::WorldBuilder::new(4)
+            .seed(1)
+            .match_controller(ctl.clone() as std::sync::Arc<dyn mpisim::MatchController>)
+            .run(|p| {
+                let world = p.world();
+                let me = p.world_rank();
+                if me == 0 {
+                    world.barrier(p);
+                    let mut acc: u64 = 0;
+                    for _ in 1..4 {
+                        let m = world.recv::<u64>(p, mpisim::Src::Any, mpisim::TagSel::Is(7));
+                        acc = acc.wrapping_mul(31).wrapping_add(m.data[0]);
+                    }
+                    acc
+                } else {
+                    world.send(p, 0, 7, &[me as u64]);
+                    world.barrier(p);
+                    0
+                }
+            });
+        match result {
+            Ok(rep) => mpiverify::RunOutcome {
+                artifact: format!("{:?}", rep.results),
+                failure: None,
+            },
+            Err(e) => mpiverify::RunOutcome {
+                artifact: String::new(),
+                failure: Some(e.to_string()),
+            },
+        }
+    };
+    let mut best = f64::MAX;
+    let mut runs = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = mpiverify::explore(64, run);
+        best = best.min(start.elapsed().as_secs_f64());
+        runs = report.runs;
+    }
+    runs as f64 / best
+}
+
 /// Best-of-`reps` convolution throughput (simulated steps per host
 /// second) at scale `p` on the given engine.
 fn conv_steps_per_sec(engine: mpisim::Engine, p: usize, steps: usize, reps: usize) -> f64 {
@@ -107,6 +155,8 @@ fn main() {
 
     let tl_windows = 8;
     let tl_us = timeline_build_us(8, conv_steps, tl_windows, 20);
+
+    let verify_sps = verify_schedules_per_sec(5);
 
     // Scale sweep on the DES engine. Order matters twice over: the
     // 16384-rank run fragments the heap enough to distort the section
@@ -150,7 +200,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400}}\n}}\n",
+        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"verify_schedules_per_sec\": {verify_sps:.2},\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400}}\n}}\n",
         (profiled_ns - bare_ns).max(0.0),
         sweep_json.join(", "),
         des_p64 / threads_p64

@@ -15,6 +15,7 @@ use mpi_sections::{
     TraceTool, VerifyMode, Windowing,
 };
 use mpisim::{Engine, Src, TagSel, WorldBuilder};
+use mpiverify::ScheduleController;
 use std::sync::Arc;
 
 /// Everything a profiling session renders, captured from one run.
@@ -35,6 +36,20 @@ fn observe(
     machine: machine::MachineModel,
     body: impl Fn(&mut mpisim::Proc, &SectionRuntime) + Send + Sync + 'static,
 ) -> Artifacts {
+    observe_controlled(engine, p, seed, machine, None, body)
+}
+
+/// [`observe`] with an optional match controller attached — the
+/// verification-off safety net: a recording controller (which always picks
+/// the arrival-order candidate) must not move a byte either.
+fn observe_controlled(
+    engine: Engine,
+    p: usize,
+    seed: u64,
+    machine: machine::MachineModel,
+    controller: Option<Arc<ScheduleController>>,
+    body: impl Fn(&mut mpisim::Proc, &SectionRuntime) + Send + Sync + 'static,
+) -> Artifacts {
     let sections = SectionRuntime::new(VerifyMode::Active);
     let profiler = SectionProfiler::new();
     let trace = TraceTool::new();
@@ -44,7 +59,7 @@ fn observe(
     sections.attach(profiler.clone());
     sections.attach(trace.clone());
     let s = sections.clone();
-    WorldBuilder::new(p)
+    let mut builder = WorldBuilder::new(p)
         .engine(engine)
         .machine(machine)
         .seed(seed)
@@ -52,7 +67,11 @@ fn observe(
         .tool(trace.clone())
         .tool(pvar.clone())
         .tool(recorder.clone())
-        .tool(checker.clone())
+        .tool(checker.clone());
+    if let Some(ctl) = controller {
+        builder = builder.match_controller(ctl as Arc<dyn mpisim::MatchController>);
+    }
+    builder
         .run(move |pr| body(pr, &s))
         .expect("workload run failed");
     let log = recorder.freeze();
@@ -156,4 +175,50 @@ fn wildcard_race_diagnostics_match_across_engines() {
         threads.diagnostics.contains("race") || !threads.diagnostics.is_empty(),
         "the wildcard race should produce a warning"
     );
+}
+
+#[test]
+fn recording_controller_is_observably_inert() {
+    // `--verify` off must be byte-identical to the pre-verifier baseline.
+    // The strictest version of that claim: even *with* the controller
+    // plumbing engaged (a recording controller that always picks the
+    // arrival-order candidate, exactly what exploration's canonical run
+    // does), every artifact matches a run with no controller at all — on
+    // both engines, including the engine the controller cannot steer.
+    let body = |pr: &mut mpisim::Proc, s: &SectionRuntime| {
+        let world = pr.world();
+        s.scoped(pr, &world, "FOLD", |pr| {
+            let world = pr.world();
+            if pr.world_rank() == 0 {
+                world.barrier(pr);
+                let a = world.recv::<u32>(pr, Src::Any, TagSel::Is(7));
+                let b = world.recv::<u32>(pr, Src::Any, TagSel::Is(7));
+                assert_eq!(a.data[0] + b.data[0], 3);
+            } else {
+                world.send(pr, 0, 7, &[pr.world_rank() as u32]);
+                world.barrier(pr);
+            }
+        });
+    };
+    for engine in [Engine::Des, Engine::Threads] {
+        let ctl = Arc::new(ScheduleController::recording());
+        let bare = observe(engine, 3, 1, machine::presets::nehalem_cluster(), body);
+        let recorded = observe_controlled(
+            engine,
+            3,
+            1,
+            machine::presets::nehalem_cluster(),
+            Some(ctl.clone()),
+            body,
+        );
+        assert_identical(&bare, &recorded);
+        // Guard against vacuous equality: the controller really was
+        // consulted — it logged both wildcard decisions.
+        assert_eq!(
+            ctl.schedule().decisions.len(),
+            2,
+            "recording controller saw both wildcard matches on {engine:?}"
+        );
+        assert!(!ctl.diverged());
+    }
 }

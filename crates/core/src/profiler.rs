@@ -59,6 +59,14 @@ impl SectionProfiler {
         Arc::new(SectionProfiler::default())
     }
 
+    /// Discard every aggregate collected so far. Section ids are
+    /// per-runtime, so a profiler reused across worlds (the schedule
+    /// explorer's repeated runs) must be reset together with its runtime —
+    /// stale aggregates would otherwise be folded into later snapshots.
+    pub fn reset(&self) {
+        self.sections.lock().clear();
+    }
+
     /// Freeze the collected data into an immutable profile.
     pub fn snapshot(&self) -> Profile {
         let sections = self.sections.lock();

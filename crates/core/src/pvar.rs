@@ -164,6 +164,19 @@ impl PvarRegistry {
             .add(&delta);
     }
 
+    /// Discard everything collected so far, returning the registry to its
+    /// freshly-built state. A process that runs several worlds against one
+    /// registry (the schedule explorer re-executing a program) must reset
+    /// between runs, or each snapshot folds in every earlier run's
+    /// counters.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.sections.lock().clear();
+        *self.nranks.lock() = 0;
+    }
+
     /// Freeze the collected counters into an immutable snapshot.
     pub fn snapshot(&self) -> PvarSnapshot {
         let nranks = *self.nranks.lock();
@@ -500,6 +513,40 @@ mod tests {
             snap.matrix.get(&(3, 0)),
             Some(&MatrixCell { msgs: 1, bytes: 24 })
         );
+    }
+
+    #[test]
+    fn reset_isolates_reruns() {
+        // One registry, two runs — the explorer's usage pattern. Without a
+        // reset the second snapshot folds in the first run's counters;
+        // with one it matches a single run exactly.
+        let pvar = PvarRegistry::new();
+        let run = |pvar: &std::sync::Arc<PvarRegistry>| {
+            let sections = SectionRuntime::new(VerifyMode::Active);
+            WorldBuilder::new(2)
+                .tool(sections)
+                .tool(pvar.clone())
+                .run(|p| {
+                    let world = p.world();
+                    if p.world_rank() == 0 {
+                        world.send(p, 1, 0, &[1u64]);
+                    } else {
+                        let _ = world.recv::<u64>(p, Src::Rank(0), TagSel::Is(0));
+                    }
+                })
+                .unwrap();
+        };
+        run(&pvar);
+        let first = pvar.snapshot();
+        run(&pvar);
+        let polluted = pvar.snapshot();
+        assert_eq!(polluted.totals().sent_msgs, 2 * first.totals().sent_msgs);
+        pvar.reset();
+        run(&pvar);
+        let fresh = pvar.snapshot();
+        assert_eq!(fresh.totals().sent_msgs, first.totals().sent_msgs);
+        assert_eq!(fresh.matrix, first.matrix);
+        assert_eq!(fresh.nranks, first.nranks);
     }
 
     #[test]

@@ -68,6 +68,14 @@ impl TraceTool {
         Arc::new(TraceTool::default())
     }
 
+    /// Discard all recorded spans and flow endpoints. A process that runs
+    /// several worlds against one trace tool (the schedule explorer) must
+    /// reset between runs or later exports replay earlier runs' spans.
+    pub fn reset(&self) {
+        self.events.lock().clear();
+        self.flows.lock().clear();
+    }
+
     /// Number of recorded spans.
     pub fn len(&self) -> usize {
         self.events.lock().len()

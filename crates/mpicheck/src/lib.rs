@@ -524,11 +524,22 @@ impl Tool for Analyzer {
                     };
                     rank.blocked = None;
                     if was_wildcard {
-                        let distinct: HashSet<usize> = candidates.iter().map(|(r, _)| *r).collect();
-                        if distinct.len() > 1 {
-                            let mut competing = candidates.clone();
+                        // Only distinct senders can race: per-sender order is
+                        // pinned by the non-overtaking rule, so several queued
+                        // messages from one sender are no choice at all. Keep
+                        // the earliest message per sender (what the runtime
+                        // could actually match) and warn only when two or more
+                        // senders compete — a single live candidate is
+                        // deterministic, the verifier's "trivially refuted".
+                        let mut competing: Vec<(usize, i32)> = Vec::new();
+                        for &(r, t) in candidates {
+                            if !competing.iter().any(|(cr, _)| *cr == r) {
+                                competing.push((r, t));
+                            }
+                        }
+                        if competing.len() > 1 {
                             competing.sort_unstable();
-                            let mut ranks: Vec<usize> = distinct.into_iter().collect();
+                            let mut ranks: Vec<usize> = competing.iter().map(|(r, _)| *r).collect();
                             ranks.push(world_rank);
                             ranks.sort_unstable();
                             ranks.dedup();
@@ -764,5 +775,79 @@ mod tests {
             }
             other => panic!("expected divergence, got {other:?}"),
         }
+    }
+
+    /// Drive one wildcard receive through `on_event` and return the
+    /// analyzer's warnings for the given candidate set.
+    fn race_warnings(candidates: Vec<(usize, i32)>) -> Vec<Diagnostic> {
+        let analyzer = Analyzer::new();
+        for r in 0..3 {
+            analyzer.on_event(
+                r,
+                &MpiEvent::Init {
+                    size: 3,
+                    time: machine::VTime::ZERO,
+                },
+            );
+        }
+        analyzer.on_event(
+            0,
+            &MpiEvent::RecvBlocked {
+                comm: CommId::WORLD,
+                src: Src::Any,
+                tag: TagSel::Is(7),
+                members: members(3),
+                time: machine::VTime::ZERO,
+            },
+        );
+        let (src_world, tag) = candidates[0];
+        analyzer.on_event(
+            0,
+            &MpiEvent::RecvMatched {
+                comm: CommId::WORLD,
+                src_local: src_world,
+                src_world,
+                tag,
+                seq: 1,
+                bytes: 4,
+                candidates,
+                time: machine::VTime::ZERO,
+            },
+        );
+        analyzer.diagnostics()
+    }
+
+    #[test]
+    fn single_sender_multi_message_wildcard_does_not_warn() {
+        // Three queued messages, all from rank 1: the non-overtaking rule
+        // pins the match, so there is no race however many are queued.
+        assert!(race_warnings(vec![(1, 7), (1, 8), (1, 9)]).is_empty());
+    }
+
+    #[test]
+    fn multi_sender_wildcard_warns_with_per_sender_candidates() {
+        // Two distinct senders, one of them with a second queued message:
+        // the warning counts senders (2), not messages (3), and lists the
+        // earliest message per sender only.
+        let warnings = race_warnings(vec![(1, 7), (2, 7), (1, 8)]);
+        assert_eq!(warnings.len(), 1);
+        let w = &warnings[0];
+        assert_eq!(w.severity, Severity::Warn);
+        assert!(
+            w.message.contains("had 2 simultaneously matching senders"),
+            "{}",
+            w.message
+        );
+        match &w.kind {
+            DiagnosticKind::MessageRace {
+                receiver,
+                candidates,
+            } => {
+                assert_eq!(*receiver, 0);
+                assert_eq!(candidates, &vec![(1, 7), (2, 7)]);
+            }
+            other => panic!("expected message race, got {other:?}"),
+        }
+        assert_eq!(w.ranks, vec![0, 1, 2]);
     }
 }

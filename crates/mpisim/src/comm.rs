@@ -283,6 +283,7 @@ impl Comm {
         // Candidate observation is only paid for when a tool subscribed
         // to RecvMatched (it is what a race analyzer joins on).
         let observing = p.wants(EventKind::RecvMatched);
+        let controller = p.mailboxes.controller();
         #[cfg(target_arch = "x86_64")]
         let des_hit = crate::des::with_active(|s| {
             s.recv_match(
@@ -293,18 +294,20 @@ impl Comm {
                 tag,
                 observing,
                 &p.mailboxes.poison,
+                controller,
             )
         });
         #[cfg(not(target_arch = "x86_64"))]
         let des_hit: Option<(Envelope, Vec<(usize, i32)>)> = None;
         let (envelope, candidates) = match des_hit {
             Some(hit) => hit,
-            None => p.mailboxes.of(p.world_rank).take_matching_observed(
+            None => p.mailboxes.of(p.world_rank).take_matching_controlled(
                 self.id(),
                 src,
                 tag,
                 &p.mailboxes.poison,
                 observing,
+                controller,
             ),
         };
         if observing {

@@ -106,6 +106,9 @@ impl Scheduler {
     /// if any. With `observe`, also report every matching candidate as
     /// `(sender world rank, tag)` — exact because nothing else can run
     /// between the scan and the removal on the single scheduler thread.
+    /// Wildcard matches are resolved through `controller` when one is
+    /// given (the verification hook — see [`crate::control`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn try_take(
         &self,
         rank: usize,
@@ -113,20 +116,11 @@ impl Scheduler {
         src: Src,
         tag: TagSel,
         observe: bool,
+        controller: Option<&dyn crate::control::MatchController>,
     ) -> Option<(Envelope, Vec<(usize, i32)>)> {
         let mut queues = self.queues.borrow_mut();
         let queue = &mut queues[rank];
-        let pos = queue.iter().position(|e| e.matches(comm, src, tag))?;
-        let candidates = if observe {
-            queue
-                .iter()
-                .filter(|e| e.matches(comm, src, tag))
-                .map(|e| (e.src_world, e.tag))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        Some((queue.remove(pos), candidates))
+        crate::mailbox::take_from_queue(queue, rank, comm, src, tag, observe, controller)
     }
 
     /// The whole blocking-receive operation in one scheduler call: note
@@ -144,11 +138,12 @@ impl Scheduler {
         tag: TagSel,
         observe: bool,
         poison: &Poison,
+        controller: Option<&dyn crate::control::MatchController>,
     ) -> (Envelope, Vec<(usize, i32)>) {
         self.slots.borrow_mut()[rank].clock = now;
         loop {
             poison.check();
-            if let Some(hit) = self.try_take(rank, comm, src, tag, observe) {
+            if let Some(hit) = self.try_take(rank, comm, src, tag, observe, controller) {
                 return hit;
             }
             self.block_current();

@@ -47,6 +47,7 @@
 pub mod cart;
 pub mod collective;
 pub mod comm;
+pub mod control;
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod des;
 pub mod diag;
@@ -64,6 +65,7 @@ pub mod world;
 
 pub use cart::CartComm;
 pub use comm::{waitall, Comm, RecvReq, Recvd, SendReq};
+pub use control::{MatchCandidate, MatchController};
 pub use diag::{BlockedSite, Diagnostic, DiagnosticKind, Severity};
 pub use error::RunError;
 pub use event::{CommId, EventKind, EventMask, MpiCall, MpiEvent, SectionData};

@@ -18,12 +18,71 @@
 //! Mailboxes participate in world poisoning: when any rank fails, waiters
 //! are woken and unwind instead of blocking forever.
 
+use crate::control::{MatchCandidate, MatchController};
 use crate::error::POISONED_MSG;
 use crate::event::CommId;
 use crate::message::{Envelope, Src, TagSel};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Remove one matching message from `queue`, if any, honoring an optional
+/// [`MatchController`] on wildcard receives.
+///
+/// This is the single matching-site implementation shared by both engines
+/// (the DES scheduler's resident queues and the threads engine's mutexed
+/// mailboxes), so a controller observes identical candidate sets and
+/// decision points regardless of engine. With `observe`, every queued
+/// message matching the selectors is also reported as `(sender world
+/// rank, tag)` — the exact candidate set a race analyzer joins on.
+///
+/// The controller is only consulted for [`Src::Any`] receives (named
+/// sources have no choice to make: non-overtaking pins the match), and it
+/// chooses among the *earliest queued message per distinct sender* — the
+/// set of matchings a standards-compliant MPI could produce. Candidate
+/// index 0 is the default (arrival-order) pick.
+pub(crate) fn take_from_queue(
+    queue: &mut Vec<Envelope>,
+    receiver: usize,
+    comm: CommId,
+    src: Src,
+    tag: TagSel,
+    observe: bool,
+    controller: Option<&dyn MatchController>,
+) -> Option<(Envelope, Vec<(usize, i32)>)> {
+    let first = queue.iter().position(|e| e.matches(comm, src, tag))?;
+    let candidates = if observe {
+        queue
+            .iter()
+            .filter(|e| e.matches(comm, src, tag))
+            .map(|e| (e.src_world, e.tag))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let pos = match (controller, src) {
+        (Some(ctl), Src::Any) => {
+            let mut positions: Vec<usize> = Vec::new();
+            let mut options: Vec<MatchCandidate> = Vec::new();
+            for (i, e) in queue.iter().enumerate() {
+                if e.matches(comm, src, tag) && !options.iter().any(|c| c.src_world == e.src_world)
+                {
+                    positions.push(i);
+                    options.push(MatchCandidate {
+                        src_world: e.src_world,
+                        src_local: e.src_local,
+                        tag: e.tag,
+                        seq: e.seq,
+                    });
+                }
+            }
+            let choice = ctl.choose(receiver, &options).min(options.len() - 1);
+            positions[choice]
+        }
+        _ => first,
+    };
+    Some((queue.remove(pos), candidates))
+}
 
 /// Shared poison flag for a world.
 #[derive(Debug, Default)]
@@ -118,6 +177,22 @@ impl Mailbox {
         poison: &Poison,
         observe: bool,
     ) -> (Envelope, Vec<(usize, i32)>) {
+        self.take_matching_controlled(comm, src, tag, poison, observe, None)
+    }
+
+    /// Like [`Mailbox::take_matching_observed`], but wildcard matches are
+    /// resolved through `controller` when one is given (see
+    /// [`crate::control`]). The uncontrolled paths pass `None` and keep
+    /// today's arrival-order pick.
+    pub(crate) fn take_matching_controlled(
+        &self,
+        comm: CommId,
+        src: Src,
+        tag: TagSel,
+        poison: &Poison,
+        observe: bool,
+        controller: Option<&dyn MatchController>,
+    ) -> (Envelope, Vec<(usize, i32)>) {
         #[cfg(target_arch = "x86_64")]
         if crate::des::is_active() {
             // Single scheduler thread: match against the scheduler-resident
@@ -126,9 +201,10 @@ impl Mailbox {
             // be lost — nothing else runs between the scan and suspension.
             loop {
                 poison.check();
-                if let Some(hit) =
-                    crate::des::with_active(|s| s.try_take(self.owner, comm, src, tag, observe))
-                        .flatten()
+                if let Some(hit) = crate::des::with_active(|s| {
+                    s.try_take(self.owner, comm, src, tag, observe, controller)
+                })
+                .flatten()
                 {
                     return hit;
                 }
@@ -138,17 +214,10 @@ impl Mailbox {
         let mut queue = self.queue.lock();
         loop {
             poison.check();
-            if let Some(pos) = queue.iter().position(|e| e.matches(comm, src, tag)) {
-                let candidates = if observe {
-                    queue
-                        .iter()
-                        .filter(|e| e.matches(comm, src, tag))
-                        .map(|e| (e.src_world, e.tag))
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                return (queue.remove(pos), candidates);
+            if let Some(hit) =
+                take_from_queue(&mut queue, self.owner, comm, src, tag, observe, controller)
+            {
+                return hit;
             }
             self.arrived.wait(&mut queue);
         }
@@ -194,6 +263,9 @@ impl Mailbox {
 pub struct MailboxSet {
     boxes: Vec<Mailbox>,
     pub poison: Arc<Poison>,
+    /// Steers wildcard matches when a verifier drives the world; `None`
+    /// (the default) keeps arrival-order matching.
+    pub(crate) controller: Option<Arc<dyn MatchController>>,
 }
 
 impl MailboxSet {
@@ -202,7 +274,14 @@ impl MailboxSet {
         MailboxSet {
             boxes: (0..nranks).map(Mailbox::for_rank).collect(),
             poison,
+            controller: None,
         }
+    }
+
+    /// The attached wildcard-match controller, if any.
+    #[inline]
+    pub(crate) fn controller(&self) -> Option<&dyn MatchController> {
+        self.controller.as_deref()
     }
 
     /// The mailbox of a world rank.

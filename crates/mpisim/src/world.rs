@@ -73,6 +73,7 @@ pub struct WorldBuilder {
     tools: Vec<Arc<dyn Tool>>,
     engine: Engine,
     stack_size: usize,
+    match_controller: Option<Arc<dyn crate::control::MatchController>>,
 }
 
 impl WorldBuilder {
@@ -85,6 +86,7 @@ impl WorldBuilder {
             tools: Vec::new(),
             engine: Engine::default_from_env(),
             stack_size: default_stack_size(),
+            match_controller: None,
         }
     }
 
@@ -117,6 +119,17 @@ impl WorldBuilder {
     /// size costs address space, not memory.
     pub fn stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = bytes;
+        self
+    }
+
+    /// Attach a [`MatchController`](crate::MatchController) that resolves
+    /// every wildcard-receive matching (the dynamic-verification hook).
+    /// Without one, wildcard receives match in arrival order.
+    pub fn match_controller(
+        mut self,
+        controller: Arc<dyn crate::control::MatchController>,
+    ) -> Self {
+        self.match_controller = Some(controller);
         self
     }
 
@@ -171,7 +184,9 @@ impl WorldShared {
     fn build(b: &WorldBuilder) -> WorldShared {
         let machine = Arc::new(b.machine.clone());
         let poison = Arc::new(Poison::default());
-        let mailboxes = Arc::new(MailboxSet::new(b.nranks, poison.clone()));
+        let mut mailboxes = MailboxSet::new(b.nranks, poison.clone());
+        mailboxes.controller = b.match_controller.clone();
+        let mailboxes = Arc::new(mailboxes);
         let registry = Arc::new(Registry::new(machine.topology));
         let world_comm = registry.register((0..b.nranks).collect());
         WorldShared {

@@ -1,0 +1,527 @@
+//! The schedule-space explorer: DFS over wildcard-receive matchings.
+//!
+//! ## Algorithm
+//!
+//! The explorer first executes the program once with an empty forced
+//! prefix — the *canonical run*, identical to an uncontrolled run — and
+//! records its complete decision sequence and artifact fingerprint. It
+//! then walks the tree of alternative matchings depth-first: for every
+//! completed run with forced prefix `P` and logged schedule `S`, each
+//! decision `S[i]` with `i >= |P|` that offered two or more distinct
+//! senders spawns one branch per un-taken sender, forcing
+//! `S[0..i] + flip(S[i])` as the next prefix. Decisions at or before the
+//! forced prefix are never re-branched, so every reachable decision
+//! sequence is visited exactly once (the sleep-set discipline); the
+//! candidate set itself is already reduced to the earliest queued message
+//! per distinct sender — MPI's non-overtaking rule makes any other queued
+//! message unreachable at that site, which is the persistent-set
+//! reduction.
+//!
+//! ## Verdicts
+//!
+//! Each run's observable artifact (whatever the caller folds into
+//! [`RunOutcome::artifact`]: metrics JSON, diagnostics, received
+//! payloads) is fingerprinted. A branch whose fingerprint differs from
+//! the canonical run's — or that fails outright (deadlock under the
+//! alternative matching) while the canonical run succeeded — **confirms**
+//! the race at its flipped site, and the two full schedules become the
+//! replayable witness pair. A site every alternative of which was
+//! explored without divergence is **refuted** (exhaustively if the
+//! whole tree fit in the budget, else within budget); a wildcard site
+//! that never saw a second candidate is **trivially refuted**.
+
+use std::collections::HashSet;
+
+use crate::controller::ScheduleController;
+use crate::schedule::{Decision, Schedule};
+use std::sync::Arc;
+
+/// What one exploration run observed.
+pub struct RunOutcome {
+    /// Concatenation of every observable artifact of the run (metrics
+    /// JSON, diagnostics report, final receive payloads...). Compared by
+    /// fingerprint only — keep it cheap but complete: anything left out
+    /// is invisible to the divergence check.
+    pub artifact: String,
+    /// `Some(rendered error)` if the run failed (deadlock, abort). A
+    /// failing canonical run stops exploration; a failing branch run
+    /// confirms the race it flipped.
+    pub failure: Option<String>,
+}
+
+/// A wildcard receive site: `(receiver world rank, per-receiver slot)`.
+pub type Site = (usize, usize);
+
+/// Why a confirmed verdict is confirmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Confirmation {
+    /// The witness runs both completed with different artifacts.
+    DivergentArtifacts,
+    /// The alternative matching made the program fail (deadlock/abort).
+    DeadlockUnderAlternate,
+}
+
+/// The verdict on one wildcard receive site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Proven racy: the two schedules are observably different.
+    Confirmed {
+        site: Site,
+        kind: Confirmation,
+        /// The canonical run's full schedule.
+        witness_a: Schedule,
+        /// The diverging run's full schedule.
+        witness_b: Schedule,
+        /// Human-readable evidence (fingerprints or the failure text).
+        detail: String,
+    },
+    /// Every alternative matching reachable at this site produced a
+    /// byte-identical artifact.
+    Refuted {
+        site: Site,
+        /// Runs that branched at this site.
+        schedules_explored: usize,
+        /// True when the whole tree fit inside the budget, making this a
+        /// proof rather than a bounded search.
+        exhaustive: bool,
+    },
+    /// The site is a wildcard receive but never had a second live
+    /// candidate sender: there is no choice to race on.
+    TriviallyRefuted { site: Site },
+}
+
+impl Verdict {
+    /// The site this verdict covers.
+    pub fn site(&self) -> Site {
+        match self {
+            Verdict::Confirmed { site, .. }
+            | Verdict::Refuted { site, .. }
+            | Verdict::TriviallyRefuted { site } => *site,
+        }
+    }
+
+    /// Short verdict word for reports.
+    pub fn word(&self) -> &'static str {
+        match self {
+            Verdict::Confirmed { .. } => "confirmed",
+            Verdict::Refuted { .. } => "refuted",
+            Verdict::TriviallyRefuted { .. } => "trivially-refuted",
+        }
+    }
+}
+
+/// The explorer's complete result.
+pub struct Report {
+    /// Per-site verdicts, sorted by site.
+    pub verdicts: Vec<Verdict>,
+    /// Total runs executed (canonical + branches).
+    pub runs: usize,
+    /// Runs whose fingerprint differed from the canonical run's.
+    pub divergent: usize,
+    /// Total schedules the budget allowed.
+    pub budget: usize,
+    /// True when the DFS drained before hitting the budget.
+    pub exhausted_space: bool,
+    /// The canonical run's schedule (the replay baseline).
+    pub canonical: Schedule,
+}
+
+impl Report {
+    /// Any site proven racy?
+    pub fn any_confirmed(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|v| matches!(v, Verdict::Confirmed { .. }))
+    }
+
+    /// The first confirmed verdict's witness pair, if any.
+    pub fn first_witness_pair(&self) -> Option<(&Schedule, &Schedule)> {
+        self.verdicts.iter().find_map(|v| match v {
+            Verdict::Confirmed {
+                witness_a,
+                witness_b,
+                ..
+            } => Some((witness_a, witness_b)),
+            _ => None,
+        })
+    }
+}
+
+/// FNV-1a over the artifact string: cheap, deterministic, and collision
+/// risk is irrelevant here (a collision can only mask a divergence the
+/// caller's artifact already recorded byte-for-byte; the witness replay
+/// in CI would catch it).
+pub fn fingerprint(artifact: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in artifact.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Explore the matchings of the program `run` executes.
+///
+/// `run` must build a **fresh, silent** world each call, attach the given
+/// controller via
+/// [`WorldBuilder::match_controller`](mpisim::WorldBuilder::match_controller),
+/// execute, and fold every observable artifact into the returned
+/// [`RunOutcome`]. `budget` caps the total number of runs (at least the
+/// canonical run always executes).
+pub fn explore<F>(budget: usize, run: F) -> Report
+where
+    F: Fn(&Arc<ScheduleController>) -> RunOutcome,
+{
+    let budget = budget.max(1);
+    let canonical_ctl = Arc::new(ScheduleController::recording());
+    let canonical_out = run(&canonical_ctl);
+    let canonical = canonical_ctl.schedule();
+    let canonical_fp = fingerprint(&canonical_out.artifact);
+    let mut runs = 1;
+    let mut divergent = 0;
+
+    // Sites that ever offered >= 2 senders, and their branch outcomes.
+    let mut racy_sites: HashSet<Site> = HashSet::new();
+    let mut branch_counts: Vec<(Site, usize)> = Vec::new();
+    let mut confirmed: Vec<Verdict> = Vec::new();
+    // All wildcard sites ever consulted (for trivially-refuted entries).
+    let mut all_sites: HashSet<Site> = HashSet::new();
+    // Decision prefixes already scheduled, so a diverged replay cannot
+    // re-enqueue work the tree discipline would otherwise never repeat.
+    let mut seen_prefixes: HashSet<Vec<(usize, usize, usize)>> = HashSet::new();
+
+    let note_sites = |schedule: &Schedule, all: &mut HashSet<Site>, racy: &mut HashSet<Site>| {
+        for d in &schedule.decisions {
+            all.insert((d.receiver, d.slot));
+            if d.candidates.len() >= 2 {
+                racy.insert((d.receiver, d.slot));
+            }
+        }
+    };
+    note_sites(&canonical, &mut all_sites, &mut racy_sites);
+
+    // A failed canonical run means the program is broken regardless of
+    // matching; there is no baseline to diverge from.
+    if canonical_out.failure.is_none() {
+        // DFS stack of (forced prefix, site the last decision flipped).
+        let mut stack: Vec<(Schedule, Site)> = Vec::new();
+        let push_branches =
+            |schedule: &Schedule,
+             from: usize,
+             stack: &mut Vec<(Schedule, Site)>,
+             seen: &mut HashSet<Vec<(usize, usize, usize)>>| {
+                // Reverse order so the stack pops the earliest site first.
+                for i in (from..schedule.decisions.len()).rev() {
+                    let d = &schedule.decisions[i];
+                    for &(alt, _) in d.candidates.iter().filter(|(s, _)| *s != d.chosen) {
+                        let mut prefix: Vec<Decision> = schedule.decisions[..i].to_vec();
+                        prefix.push(Decision {
+                            chosen: alt,
+                            ..d.clone()
+                        });
+                        let key: Vec<(usize, usize, usize)> = prefix
+                            .iter()
+                            .map(|p| (p.receiver, p.slot, p.chosen))
+                            .collect();
+                        if seen.insert(key) {
+                            stack.push((Schedule { decisions: prefix }, (d.receiver, d.slot)));
+                        }
+                    }
+                }
+            };
+        push_branches(&canonical, 0, &mut stack, &mut seen_prefixes);
+
+        while runs < budget {
+            let Some((prefix, flipped_site)) = stack.pop() else {
+                break;
+            };
+            let forced = prefix.decisions.len();
+            let ctl = Arc::new(ScheduleController::replaying(prefix));
+            let out = run(&ctl);
+            runs += 1;
+            let schedule = ctl.schedule();
+            note_sites(&schedule, &mut all_sites, &mut racy_sites);
+            branch_counts.push((flipped_site, 1));
+
+            let already_confirmed = confirmed
+                .iter()
+                .any(|v| matches!(v, Verdict::Confirmed { site, .. } if *site == flipped_site));
+            if let Some(failure) = out.failure {
+                divergent += 1;
+                if !already_confirmed {
+                    confirmed.push(Verdict::Confirmed {
+                        site: flipped_site,
+                        kind: Confirmation::DeadlockUnderAlternate,
+                        witness_a: canonical.clone(),
+                        witness_b: schedule,
+                        detail: failure,
+                    });
+                }
+                continue;
+            }
+            let fp = fingerprint(&out.artifact);
+            if fp != canonical_fp {
+                divergent += 1;
+                // One witness pair per site: later flips of an
+                // already-confirmed site add no information.
+                if !already_confirmed {
+                    confirmed.push(Verdict::Confirmed {
+                        site: flipped_site,
+                        kind: Confirmation::DivergentArtifacts,
+                        witness_a: canonical.clone(),
+                        witness_b: schedule,
+                        detail: format!(
+                            "artifact fingerprints diverge: {canonical_fp:016x} vs {fp:016x}"
+                        ),
+                    });
+                }
+                continue;
+            }
+            if !ctl.diverged() {
+                // Same fingerprint and the forced prefix replayed cleanly:
+                // branch deeper into this run's suffix.
+                push_branches(&schedule, forced, &mut stack, &mut seen_prefixes);
+            }
+        }
+
+        // Remaining stack entries are schedules the budget cut off.
+        let exhausted_space = stack.is_empty();
+        return finish(
+            canonical,
+            runs,
+            divergent,
+            budget,
+            exhausted_space,
+            all_sites,
+            racy_sites,
+            branch_counts,
+            confirmed,
+        );
+    }
+
+    finish(
+        canonical,
+        runs,
+        divergent,
+        budget,
+        true,
+        all_sites,
+        racy_sites,
+        branch_counts,
+        confirmed,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    canonical: Schedule,
+    runs: usize,
+    divergent: usize,
+    budget: usize,
+    exhausted_space: bool,
+    all_sites: HashSet<Site>,
+    racy_sites: HashSet<Site>,
+    branch_counts: Vec<(Site, usize)>,
+    confirmed: Vec<Verdict>,
+) -> Report {
+    let confirmed_sites: HashSet<Site> = confirmed.iter().map(Verdict::site).collect();
+    let mut verdicts = confirmed;
+    let mut sites: Vec<Site> = all_sites.into_iter().collect();
+    sites.sort_unstable();
+    for site in sites {
+        if confirmed_sites.contains(&site) {
+            continue;
+        }
+        if racy_sites.contains(&site) {
+            let explored = branch_counts
+                .iter()
+                .filter(|(s, _)| *s == site)
+                .map(|(_, n)| n)
+                .sum();
+            verdicts.push(Verdict::Refuted {
+                site,
+                schedules_explored: explored,
+                exhaustive: exhausted_space,
+            });
+        } else {
+            verdicts.push(Verdict::TriviallyRefuted { site });
+        }
+    }
+    verdicts.sort_by_key(|v| v.site());
+    Report {
+        verdicts,
+        runs,
+        divergent,
+        budget,
+        exhausted_space,
+        canonical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{Src, TagSel, WorldBuilder};
+
+    /// Run `body` as a 3-rank DES world and fold rank 0's received data
+    /// into the artifact.
+    fn race_outcome(ctl: &Arc<ScheduleController>, same_payload: bool) -> RunOutcome {
+        let result = WorldBuilder::new(3)
+            .engine(mpisim::Engine::Des)
+            .match_controller(ctl.clone() as Arc<dyn mpisim::MatchController>)
+            .run(move |p| {
+                let world = p.world();
+                let me = p.world_rank();
+                if me == 0 {
+                    world.barrier(p);
+                    let a = world.recv::<u32>(p, Src::Any, TagSel::Is(7));
+                    let b = world.recv::<u32>(p, Src::Any, TagSel::Is(7));
+                    // Order-sensitive fold: diverges iff payloads differ.
+                    a.data[0] * 1000 + b.data[0]
+                } else {
+                    let payload = if same_payload { 9 } else { me as u32 };
+                    world.send(p, 0, 7, &[payload]);
+                    world.barrier(p);
+                    0
+                }
+            });
+        match result {
+            Ok(report) => RunOutcome {
+                artifact: format!("{:?}", report.results),
+                failure: None,
+            },
+            Err(e) => RunOutcome {
+                artifact: String::new(),
+                failure: Some(e.to_string()),
+            },
+        }
+    }
+
+    #[test]
+    fn distinct_payload_race_is_confirmed() {
+        let report = explore(64, |ctl| race_outcome(ctl, false));
+        assert!(report.any_confirmed(), "distinct payloads must diverge");
+        assert!(report.divergent >= 1);
+        let (a, b) = report.first_witness_pair().expect("witness pair");
+        assert_ne!(a, b, "witness schedules must differ");
+        // Replaying each witness must reproduce its side of the divergence
+        // deterministically.
+        let out_a = race_outcome(&Arc::new(ScheduleController::replaying(a.clone())), false);
+        let out_b = race_outcome(&Arc::new(ScheduleController::replaying(b.clone())), false);
+        assert_ne!(
+            fingerprint(&out_a.artifact),
+            fingerprint(&out_b.artifact),
+            "witness replays must reproduce the divergence"
+        );
+        // And replaying twice is stable.
+        let again = race_outcome(&Arc::new(ScheduleController::replaying(b.clone())), false);
+        assert_eq!(out_b.artifact, again.artifact);
+    }
+
+    #[test]
+    fn identical_payload_race_is_refuted_exhaustively() {
+        let report = explore(64, |ctl| race_outcome(ctl, true));
+        assert!(!report.any_confirmed(), "identical payloads cannot diverge");
+        assert_eq!(report.divergent, 0);
+        assert!(report.exhausted_space, "tiny space must drain in budget");
+        assert!(report.verdicts.iter().any(|v| matches!(
+            v,
+            Verdict::Refuted {
+                exhaustive: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn budget_of_one_runs_only_canonical() {
+        let report = explore(1, |ctl| race_outcome(ctl, false));
+        assert_eq!(report.runs, 1);
+        assert!(!report.any_confirmed());
+        assert!(!report.exhausted_space);
+    }
+
+    /// rank 0 does recv(Any) then recv(Rank(2)); ranks 1 and 2 each send
+    /// once. Canonically the wildcard eats rank 1's message (sent first);
+    /// if it eats rank 2's instead, the second receive waits forever.
+    fn deadlock_outcome(ctl: &Arc<ScheduleController>) -> RunOutcome {
+        let result = WorldBuilder::new(3)
+            .engine(mpisim::Engine::Des)
+            .match_controller(ctl.clone() as Arc<dyn mpisim::MatchController>)
+            .run(|p| {
+                let world = p.world();
+                match p.world_rank() {
+                    0 => {
+                        world.barrier(p);
+                        let a = world.recv::<u32>(p, Src::Any, TagSel::Is(7));
+                        let b = world.recv::<u32>(p, Src::Rank(2), TagSel::Is(7));
+                        a.data[0] + b.data[0]
+                    }
+                    me => {
+                        world.send(p, 0, 7, &[me as u32]);
+                        world.barrier(p);
+                        0
+                    }
+                }
+            });
+        match result {
+            Ok(report) => RunOutcome {
+                artifact: format!("{:?}", report.results),
+                failure: None,
+            },
+            Err(e) => RunOutcome {
+                artifact: String::new(),
+                failure: Some(e.to_string()),
+            },
+        }
+    }
+
+    #[test]
+    fn deadlock_under_alternate_matching_is_confirmed() {
+        let report = explore(16, deadlock_outcome);
+        let confirmed: Vec<_> = report
+            .verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::Confirmed { kind, detail, .. } => Some((kind, detail)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            confirmed
+                .iter()
+                .any(|(k, _)| **k == Confirmation::DeadlockUnderAlternate),
+            "alternate matching must deadlock, got {:?}",
+            report.verdicts
+        );
+        let (_, detail) = confirmed[0];
+        assert!(detail.contains("deadlock"), "detail: {detail}");
+    }
+
+    #[test]
+    fn single_sender_wildcard_is_trivially_refuted() {
+        let report = explore(8, |ctl| {
+            let result = WorldBuilder::new(2)
+                .engine(mpisim::Engine::Des)
+                .match_controller(ctl.clone() as Arc<dyn mpisim::MatchController>)
+                .run(|p| {
+                    let world = p.world();
+                    if p.world_rank() == 0 {
+                        world.recv::<u32>(p, Src::Any, TagSel::Is(3)).data[0]
+                    } else {
+                        world.send(p, 0, 3, &[5u32]);
+                        0
+                    }
+                });
+            RunOutcome {
+                artifact: format!("{:?}", result.map(|r| r.results)),
+                failure: None,
+            }
+        });
+        assert_eq!(report.runs, 1, "nothing to branch on");
+        assert!(matches!(
+            report.verdicts.as_slice(),
+            [Verdict::TriviallyRefuted { site: (0, 0) }]
+        ));
+    }
+}

@@ -1,0 +1,249 @@
+//! Rendering: the verdict JSON document and the Error-severity
+//! diagnostics a confirmed race feeds back into the
+//! [`Diagnostic`](mpisim::Diagnostic) machinery.
+
+use mpisim::diag::json_str;
+use mpisim::{Diagnostic, DiagnosticKind, Severity};
+
+use crate::explore::{Confirmation, Report, Verdict};
+use crate::schedule::describe;
+
+impl Report {
+    /// Render the whole report as one JSON document (validated by
+    /// `mpisim::jsoncheck` in tests and CI).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"format\":\"mpiverify-report-v1\"");
+        out.push_str(&format!(
+            ",\"runs\":{},\"budget\":{},\"divergent\":{},\"exhausted_space\":{}",
+            self.runs, self.budget, self.divergent, self.exhausted_space
+        ));
+        out.push_str(",\"verdicts\":[");
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (receiver, slot) = v.site();
+            out.push_str(&format!(
+                "{{\"receiver\":{receiver},\"slot\":{slot},\"verdict\":{}",
+                json_str(v.word())
+            ));
+            match v {
+                Verdict::Confirmed {
+                    kind,
+                    detail,
+                    witness_a,
+                    witness_b,
+                    ..
+                } => {
+                    let kind = match kind {
+                        Confirmation::DivergentArtifacts => "divergent-artifacts",
+                        Confirmation::DeadlockUnderAlternate => "deadlock-under-alternate",
+                    };
+                    out.push_str(&format!(
+                        ",\"kind\":{},\"detail\":{},\"witness_a_decisions\":{},\"witness_b_decisions\":{}",
+                        json_str(kind),
+                        json_str(detail),
+                        witness_a.decisions.len(),
+                        witness_b.decisions.len()
+                    ));
+                }
+                Verdict::Refuted {
+                    schedules_explored,
+                    exhaustive,
+                    ..
+                } => {
+                    out.push_str(&format!(
+                        ",\"schedules_explored\":{schedules_explored},\"exhaustive\":{exhaustive}"
+                    ));
+                }
+                Verdict::TriviallyRefuted { .. } => {}
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// One human-readable line per verdict.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "verify: {} run(s) of {} budget, {} divergent, space {}\n",
+            self.runs,
+            self.budget,
+            self.divergent,
+            if self.exhausted_space {
+                "exhausted"
+            } else {
+                "budget-capped"
+            }
+        ));
+        for v in &self.verdicts {
+            let (receiver, slot) = v.site();
+            match v {
+                Verdict::Confirmed {
+                    kind,
+                    detail,
+                    witness_b,
+                    ..
+                } => {
+                    let why = match kind {
+                        Confirmation::DivergentArtifacts => "observable artifacts diverge",
+                        Confirmation::DeadlockUnderAlternate => {
+                            "program fails under the alternative matching"
+                        }
+                    };
+                    out.push_str(&format!(
+                        "  CONFIRMED  r{receiver} wildcard #{slot}: {why} ({detail})\n"
+                    ));
+                    if let Some(d) = witness_b
+                        .decisions
+                        .iter()
+                        .find(|d| (d.receiver, d.slot) == (receiver, slot))
+                    {
+                        out.push_str(&format!("             witness flip {}\n", describe(d)));
+                    }
+                }
+                Verdict::Refuted {
+                    schedules_explored,
+                    exhaustive,
+                    ..
+                } => {
+                    out.push_str(&format!(
+                        "  REFUTED    r{receiver} wildcard #{slot}: {schedules_explored} alternative(s) byte-identical{}\n",
+                        if *exhaustive { " (exhaustive)" } else { " (within budget)" }
+                    ));
+                }
+                Verdict::TriviallyRefuted { .. } => {
+                    out.push_str(&format!(
+                        "  TRIVIAL    r{receiver} wildcard #{slot}: single live sender, no choice to race on\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Error-severity [`Diagnostic`]s for every confirmed race — the
+    /// upgrade path from mpicheck's Warn-severity `MessageRace`.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::Confirmed {
+                    site: (receiver, slot),
+                    kind,
+                    witness_b,
+                    detail,
+                    ..
+                } => {
+                    let candidates = witness_b
+                        .decisions
+                        .iter()
+                        .find(|d| (d.receiver, d.slot) == (*receiver, *slot))
+                        .map(|d| d.candidates.clone())
+                        .unwrap_or_default();
+                    let mut ranks: Vec<usize> = candidates.iter().map(|(s, _)| *s).collect();
+                    ranks.push(*receiver);
+                    ranks.sort_unstable();
+                    ranks.dedup();
+                    let why = match kind {
+                        Confirmation::DivergentArtifacts => {
+                            "two matchings produce observably different runs"
+                        }
+                        Confirmation::DeadlockUnderAlternate => {
+                            "an alternative matching deadlocks the program"
+                        }
+                    };
+                    Some(Diagnostic {
+                        kind: DiagnosticKind::MessageRace {
+                            receiver: *receiver,
+                            candidates,
+                        },
+                        severity: Severity::Error,
+                        ranks,
+                        comm: None,
+                        message: format!(
+                            "confirmed message race at rank {receiver} wildcard receive #{slot}: {why} ({detail})"
+                        ),
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Report;
+    use crate::schedule::{Decision, Schedule};
+
+    fn sample_report() -> Report {
+        let a = Schedule {
+            decisions: vec![Decision {
+                receiver: 0,
+                slot: 0,
+                candidates: vec![(1, 7), (2, 7)],
+                chosen: 1,
+            }],
+        };
+        let mut b = a.clone();
+        b.decisions[0].chosen = 2;
+        Report {
+            verdicts: vec![
+                Verdict::Confirmed {
+                    site: (0, 0),
+                    kind: Confirmation::DivergentArtifacts,
+                    witness_a: a.clone(),
+                    witness_b: b,
+                    detail: "fp 1 vs 2".into(),
+                },
+                Verdict::Refuted {
+                    site: (0, 1),
+                    schedules_explored: 3,
+                    exhaustive: true,
+                },
+                Verdict::TriviallyRefuted { site: (1, 0) },
+            ],
+            runs: 5,
+            divergent: 1,
+            budget: 64,
+            exhausted_space: true,
+            canonical: a,
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let json = sample_report().to_json();
+        mpisim::jsoncheck::assert_json(&json, "verify report");
+        assert!(json.contains("\"verdict\":\"confirmed\""));
+        assert!(json.contains("\"verdict\":\"refuted\""));
+        assert!(json.contains("\"verdict\":\"trivially-refuted\""));
+        assert!(json.contains("\"kind\":\"divergent-artifacts\""));
+    }
+
+    #[test]
+    fn confirmed_races_become_error_diagnostics() {
+        let diags = sample_report().diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(matches!(
+            &diags[0].kind,
+            DiagnosticKind::MessageRace { receiver: 0, candidates } if candidates.len() == 2
+        ));
+        assert_eq!(diags[0].ranks, vec![0, 1, 2]);
+        mpisim::jsoncheck::assert_json(&diags[0].to_json(), "race diagnostic");
+    }
+
+    #[test]
+    fn text_rendering_names_every_verdict() {
+        let text = sample_report().render_text();
+        assert!(text.contains("CONFIRMED"));
+        assert!(text.contains("REFUTED"));
+        assert!(text.contains("TRIVIAL"));
+        assert!(text.contains("witness flip"));
+    }
+}

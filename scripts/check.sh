@@ -39,6 +39,59 @@ grep -q '"timeline"' "$smoke_metrics" \
     || { echo "metrics JSON missing timeline object"; exit 1; }
 rm -f "$smoke_metrics" /tmp/tl.csv
 
+echo "==> smoke: dynamic verification (mpiverify)"
+# The verify_race example asserts both directions in-process (confirmed
+# race with replayable divergent witnesses; benign wildcard exhaustively
+# refuted) and writes the combined verdict JSON for validation here.
+smoke_verdicts="$(mktemp /tmp/check-verdicts.XXXXXX.json)"
+cargo run -q --release --example verify_race -- "$smoke_verdicts" > /dev/null
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_verdicts"
+grep -q '"verdict":"confirmed"' "$smoke_verdicts" \
+    || { echo "verify_race: expected a confirmed verdict"; exit 1; }
+grep -q '"verdict":"refuted"' "$smoke_verdicts" \
+    || { echo "verify_race: expected a refuted verdict"; exit 1; }
+rm -f "$smoke_verdicts"
+
+# The racy workload must exit 1 with a confirmed verdict and a witness
+# pair whose replays produce observably different metrics JSON.
+smoke_verify="$(mktemp /tmp/check-verify.XXXXXX.json)"
+wprefix="$(mktemp -u /tmp/check-witness.XXXXXX)"
+verify_status=0
+cargo run -q --release -p bench --bin profile -- \
+    race --p 4 --verify --verify-json "$smoke_verify" \
+    --verify-witnesses "$wprefix" > /dev/null 2>&1 || verify_status=$?
+test "$verify_status" -eq 1 \
+    || { echo "profile race --verify: expected exit 1, got $verify_status"; exit 1; }
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_verify"
+grep -q '"verdict":"confirmed"' "$smoke_verify" \
+    || { echo "profile race --verify: expected a confirmed verdict"; exit 1; }
+cargo run -q --release -p bench --bin profile -- \
+    race --p 4 --replay-schedule "$wprefix.a.json" \
+    --metrics-json /tmp/check-replay-a.json > /dev/null
+cargo run -q --release -p bench --bin profile -- \
+    race --p 4 --replay-schedule "$wprefix.b.json" \
+    --metrics-json /tmp/check-replay-b.json > /dev/null
+cargo run -q --release -p bench --bin jsoncheck -- /tmp/check-replay-a.json
+cargo run -q --release -p bench --bin jsoncheck -- /tmp/check-replay-b.json
+if cmp -s /tmp/check-replay-a.json /tmp/check-replay-b.json; then
+    echo "witness replays produced identical metrics JSON (divergence lost)"
+    exit 1
+fi
+rm -f "$smoke_verify" "$wprefix.a.json" "$wprefix.b.json" \
+    /tmp/check-replay-a.json /tmp/check-replay-b.json
+
+# The wildcard-free paper workload must come back clean (exit 0, no
+# confirmed verdicts) under the same budget.
+smoke_clean="$(mktemp /tmp/check-verify-conv.XXXXXX.json)"
+cargo run -q --release -p bench --bin profile -- \
+    conv --p 4 --steps 5 --verify --verify-json "$smoke_clean" > /dev/null
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_clean"
+if grep -q '"verdict":"confirmed"' "$smoke_clean"; then
+    echo "profile conv --verify: unexpected confirmed race"
+    exit 1
+fi
+rm -f "$smoke_clean"
+
 echo "==> smoke: DES scale, conv --p 4096 (time-boxed)"
 smoke_scale="$(mktemp /tmp/check-scale.XXXXXX.json)"
 scale_start="$(date +%s)"

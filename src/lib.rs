@@ -15,6 +15,9 @@
 //!   hooks.
 //! * [`mpicheck`] — the correctness analyzer tool: deadlock, collective
 //!   divergence, wildcard-race and section-misuse diagnostics.
+//! * [`mpiverify`] — the dynamic verifier: stateless model checking over
+//!   wildcard-receive matchings that upgrades each race warning to a
+//!   confirmed/refuted verdict with replayable witness schedules.
 //! * [`shmem`] — the OpenMP-like fork-join model.
 //! * [`sections`] — the paper's `MPI_Section` abstraction, callback
 //!   interface and profiler (crate `mpi-sections`).
@@ -29,5 +32,6 @@ pub use machine;
 pub use mpi_sections as sections;
 pub use mpicheck;
 pub use mpisim;
+pub use mpiverify;
 pub use shmem;
 pub use speedup;

@@ -2,7 +2,8 @@
 //! through the full stack satisfy the paper's structural guarantees.
 
 use machine::{presets, Work};
-use mpisim::WorldBuilder;
+use mpisim::{Src, TagSel, WorldBuilder};
+use mpiverify::{explore, RunOutcome, ScheduleController, Verdict};
 use proptest::prelude::*;
 use speedup_repro::sections::{ProfileComparison, SectionProfiler, SectionRuntime, VerifyMode};
 use std::sync::Arc;
@@ -103,6 +104,79 @@ proptest! {
             "{excl} vs {}",
             main.total_own_secs
         );
+    }
+
+    /// Verifier soundness on race-free programs: a random phase program
+    /// (deterministic collectives, no competing wildcard senders) extended
+    /// with a single-sender wildcard receive must come out of schedule
+    /// exploration fully refuted — zero divergent fingerprints, every
+    /// wildcard site trivially refuted or exhaustively byte-identical.
+    #[test]
+    fn race_free_programs_are_refuted(program in phases(), nranks in 2usize..5) {
+        let program = Arc::new(program);
+        let report = explore(32, |ctl: &Arc<ScheduleController>| {
+            let sections = SectionRuntime::new(VerifyMode::Active);
+            let profiler = SectionProfiler::new();
+            sections.attach(profiler.clone());
+            let s = sections.clone();
+            let program = program.clone();
+            let run = WorldBuilder::new(nranks)
+                .machine(presets::nehalem_cluster())
+                .seed(5)
+                .engine(mpisim::Engine::Des)
+                .match_controller(ctl.clone() as Arc<dyn mpisim::MatchController>)
+                .tool(sections.clone())
+                .run(move |p| {
+                    let world = p.world();
+                    for phase in program.iter() {
+                        s.scoped(p, &world, &format!("phase{}", phase.label), |p| {
+                            p.compute(Work::flops(phase.flops / p.world_size() as f64));
+                            if phase.collective {
+                                let _ = world.allreduce_sum_f64(p, 1.0);
+                            }
+                        });
+                    }
+                    // A wildcard receive with exactly one live sender:
+                    // `Src::Any` in form, race-free in fact.
+                    if p.world_rank() == 0 {
+                        let m = world.recv::<u64>(p, Src::Any, TagSel::Is(3));
+                        m.data[0]
+                    } else {
+                        if p.world_rank() == 1 {
+                            world.send(p, 0, 3, &[41u64]);
+                        }
+                        0
+                    }
+                });
+            match run {
+                Ok(rep) => {
+                    let mut artifact = format!("{:?};", rep.results);
+                    for sec in profiler.snapshot().sections() {
+                        artifact.push_str(&format!(
+                            "{}:{};",
+                            sec.key.label,
+                            (sec.total_own_secs * 1e9).round() as u64
+                        ));
+                    }
+                    RunOutcome { artifact, failure: None }
+                }
+                Err(e) => RunOutcome { artifact: String::new(), failure: Some(e.to_string()) },
+            }
+        });
+        prop_assert_eq!(report.divergent, 0, "race-free program produced divergent fingerprints");
+        prop_assert!(!report.any_confirmed());
+        prop_assert!(report.exhausted_space, "exploration should exhaust a race-free space");
+        prop_assert!(!report.verdicts.is_empty(), "the wildcard site must be judged");
+        for v in &report.verdicts {
+            prop_assert!(
+                matches!(
+                    v,
+                    Verdict::TriviallyRefuted { .. }
+                        | Verdict::Refuted { exhaustive: true, .. }
+                ),
+                "unexpected verdict: {v:?}"
+            );
+        }
     }
 
     /// Determinism through the whole stack: identical seeds, identical
