@@ -119,6 +119,24 @@ fn verify_schedules_per_sec(reps: usize) -> f64 {
     runs as f64 / best
 }
 
+/// Total step×rank budget one large-p sweep sample may spend. 400 steps
+/// at p = 256 was the historical sweet spot; holding the product constant
+/// keeps every sweep point at comparable host cost as p grows.
+const STEP_BUDGET: usize = 400 * 256;
+
+/// Fewest steps that still amortize the fixed load/scatter/gather phases.
+const MIN_STEPS: usize = 25;
+
+/// Step count for a sweep point: fixed 400 below p = 1024 (where steps
+/// are cheap), budget-scaled above (recorded in the JSON config block).
+fn adaptive_steps(p: usize) -> usize {
+    if p < 1024 {
+        400
+    } else {
+        (STEP_BUDGET / p).clamp(MIN_STEPS, 400)
+    }
+}
+
 /// Best-of-`reps` convolution throughput (simulated steps per host
 /// second) at scale `p` on the given engine.
 fn conv_steps_per_sec(engine: mpisim::Engine, p: usize, steps: usize, reps: usize) -> f64 {
@@ -170,10 +188,11 @@ fn main() {
         // Best-of-many short samples at p = 64: the per-sample wall time
         // is ~20 ms, so a large rep count estimates the noise-free rate
         // on a shared machine far better than a few long samples.
-        (8, 400, 5),
-        (64, 400, 25),
-        (1024, 50, 2),
-        (ranks_max, 50, 1),
+        // At p >= 1024 the step count adapts to a fixed step*rank budget.
+        (8, adaptive_steps(8), 5),
+        (64, adaptive_steps(64), 25),
+        (1024, adaptive_steps(1024), 2),
+        (ranks_max, adaptive_steps(ranks_max), 1),
     ];
     let mut sweep: Vec<(usize, usize, f64)> = Vec::new();
     for &(p, steps, reps) in &vs_p {
@@ -183,8 +202,15 @@ fn main() {
             conv_steps_per_sec(mpisim::Engine::Des, p, steps, reps),
         ));
     }
+    let ranks_max_steps = adaptive_steps(ranks_max);
     let start = Instant::now();
-    let _ = bench::conv_profile_on(Some(mpisim::Engine::Des), ranks_max, 50, &ideal, 1);
+    let _ = bench::conv_profile_on(
+        Some(mpisim::Engine::Des),
+        ranks_max,
+        ranks_max_steps,
+        &ideal,
+        1,
+    );
     let ranks_max_wall = start.elapsed().as_secs_f64();
     let des_p64 = sweep
         .iter()
@@ -200,7 +226,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"verify_schedules_per_sec\": {verify_sps:.2},\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400}}\n}}\n",
+        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"verify_schedules_per_sec\": {verify_sps:.2},\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400, \"vs_p_step_budget\": {STEP_BUDGET}, \"vs_p_min_steps\": {MIN_STEPS}}}\n}}\n",
         (profiled_ns - bare_ns).max(0.0),
         sweep_json.join(", "),
         des_p64 / threads_p64

@@ -26,10 +26,10 @@
 //! measured value (see EXPERIMENTS.md for the full comparison).
 
 use bench::{
-    conv_profile, f2, measure_convolution, measure_lulesh, render_table, write_csv, ConvRun,
+    conv_profile, f2, measure_convolution, measure_lulesh, render_table, seq_total, write_csv,
+    ConvRun, CONV_PS,
 };
 use lulesh_proxy::PAPER_ITERATIONS;
-use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 struct Options {
@@ -146,9 +146,6 @@ fn main() {
     }
 }
 
-/// The process counts of the §5.1 study ("up to 456 cores", 8 per node).
-const CONV_PS: [usize; 13] = [1, 8, 16, 32, 64, 80, 96, 112, 128, 144, 192, 256, 456];
-
 fn conv_sweep<'a>(opts: &Options, cache: &'a mut Option<Vec<ConvRun>>) -> &'a [ConvRun] {
     if cache.is_none() {
         let machine = machine::presets::nehalem_cluster();
@@ -168,11 +165,6 @@ fn conv_sweep<'a>(opts: &Options, cache: &'a mut Option<Vec<ConvRun>>) -> &'a [C
         *cache = Some(runs);
     }
     cache.as_ref().unwrap()
-}
-
-fn seq_total(runs: &[ConvRun]) -> f64 {
-    // The paper's 5589.84 s: the total section time of the sequential run.
-    runs[0].section_total.values().sum()
 }
 
 fn fig5a(opts: &Options, runs: &[ConvRun]) {
@@ -294,33 +286,16 @@ fn fig5d(opts: &Options, runs: &[ConvRun]) {
 }
 
 fn fig6(opts: &Options, runs: &[ConvRun]) {
-    let seq = seq_total(runs);
-    let paper: BTreeMap<usize, (f64, f64)> = [
-        (64, (3025.44, 118.25)),
-        (80, (1288.64, 363.96)),
-        (112, (1822.38, 343.54)),
-        (128, (14135.56, 50.61)),
-        (144, (2716.03, 181.17)),
-    ]
-    .into_iter()
-    .collect();
-    let header = vec!["p", "halo_total_s", "B", "paper_halo_s", "paper_B"];
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .filter(|r| paper.contains_key(&r.p))
-        .map(|r| {
-            let halo = r.section_total["HALO"];
-            let b = speedup::partial_bound(seq, halo, r.p);
-            let (ph, pb) = paper[&r.p];
-            vec![r.p.to_string(), f2(halo), f2(b), f2(ph), f2(pb)]
-        })
-        .collect();
-    println!("  (sequential total: measured {seq:.2} s, paper 5589.84 s)");
+    let rows = bench::fig6_rows(runs);
+    println!(
+        "  (sequential total: measured {:.2} s, paper 5589.84 s)",
+        seq_total(runs)
+    );
     emit(
         opts,
         "fig6",
         "Fig. 6 — inferred partial speedup bounds from the HALO section",
-        &header,
+        &bench::FIG6_HEADER,
         &rows,
     );
 }
@@ -580,63 +555,21 @@ fn weak_scaling(opts: &Options) {
     // (468 rows, 1/8 of the paper's image) while the global image grows
     // with p. Gustafson territory: the scaled speedup should track p.
     let machine = machine::presets::nehalem_cluster();
-    let rows_per_rank = 468usize;
     let steps = opts.steps / 4;
-    let header = vec![
-        "p",
-        "height",
-        "wall_s",
-        "weak_eff",
-        "scaled_speedup",
-        "gustafson_fs",
-    ];
-    let mut rows = Vec::new();
-    let mut t1 = 0.0;
-    for p in [1usize, 2, 4, 8, 16, 32, 64] {
-        let cfg = convolution::ConvConfig {
-            width: 5616,
-            height: rows_per_rank * p,
-            steps,
-            fidelity: convolution::Fidelity::Timing,
-            store_path: None,
-        };
-        let cfg = std::sync::Arc::new(cfg);
-        let report = mpisim::WorldBuilder::new(p)
-            .machine(machine.clone())
-            .seed(31)
-            .run({
-                let cfg = cfg.clone();
-                move |pr| {
-                    convolution::run_convolution(
-                        pr,
-                        &mpi_sections::SectionRuntime::new(mpi_sections::VerifyMode::Off),
-                        &cfg,
-                    );
-                }
-            })
-            .expect("weak-scaling run");
-        let wall = report.makespan_secs();
-        if p == 1 {
-            t1 = wall;
-        }
-        let eff = speedup::weak_efficiency(t1, wall);
-        let scaled = speedup::scaled_speedup_measured(t1, wall, p);
-        let fs = speedup::gustafson_serial_fraction(scaled, p);
-        eprintln!("[weak] p={p:3} wall={wall:.2}s eff={eff:.3}");
-        rows.push(vec![
-            p.to_string(),
-            (rows_per_rank * p).to_string(),
-            f2(wall),
-            format!("{eff:.3}"),
-            f2(scaled),
-            format!("{fs:.4}"),
-        ]);
-    }
+    let walls: Vec<(usize, f64)> = bench::WEAK_PS
+        .iter()
+        .map(|&p| {
+            let cell = bench::weak_conv_cell(p, bench::WEAK_ROWS_PER_RANK, steps, &machine, 31);
+            eprintln!("[weak] p={p:3} wall={:.2}s", cell.wall_secs);
+            (p, cell.wall_secs)
+        })
+        .collect();
+    let rows = bench::weak_scaling_rows(bench::WEAK_ROWS_PER_RANK, &walls);
     emit(
         opts,
         "weak_scaling",
         "Weak scaling — constant 468 rows per rank (Gustafson–Barsis regime)",
-        &header,
+        &bench::WEAK_HEADER,
         &rows,
     );
 }

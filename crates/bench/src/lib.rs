@@ -43,6 +43,91 @@ impl ConvRun {
     }
 }
 
+/// One world-communicator section of a simulated grid cell, as a sweep
+/// store persists it: plain numbers, no live [`Profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSection {
+    /// Section label.
+    pub label: String,
+    /// Ranks that traversed the section.
+    pub participants: usize,
+    /// Inclusive seconds summed over ranks.
+    pub total_own_secs: f64,
+    /// Exclusive seconds summed over ranks.
+    pub total_excl_secs: f64,
+    /// Inclusive seconds averaged per participating rank.
+    pub avg_per_rank_secs: f64,
+}
+
+/// The outcome of one simulated grid cell — a single `(workload, machine,
+/// p, seed)` run. This is the unit the mpistudy run store persists; every
+/// cross-run figure is rebuilt from these (see [`conv_run_from_cells`]),
+/// so the same row builders serve the ad-hoc harness and the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Simulated wall time (makespan) in seconds.
+    pub wall_secs: f64,
+    /// World-communicator sections in label order (including `MPI_MAIN`).
+    pub sections: Vec<CellSection>,
+}
+
+impl CellOutcome {
+    /// Extract the world-communicator sections of `profile`.
+    pub fn from_profile(profile: &Profile, wall_secs: f64) -> CellOutcome {
+        let sections = profile
+            .sections()
+            .filter(|s| s.key.comm == mpisim::CommId::WORLD)
+            .map(|s| CellSection {
+                label: s.key.label.clone(),
+                participants: s.participants,
+                total_own_secs: s.total_own_secs,
+                total_excl_secs: s.total_excl_secs,
+                avg_per_rank_secs: s.avg_per_rank_secs(),
+            })
+            .collect();
+        CellOutcome {
+            wall_secs,
+            sections,
+        }
+    }
+
+    /// Look up a section by label.
+    pub fn section(&self, label: &str) -> Option<&CellSection> {
+        self.sections.iter().find(|s| s.label == label)
+    }
+}
+
+/// Run one convolution grid cell: scale `p`, one `seed`.
+pub fn conv_cell(p: usize, steps: usize, machine: &MachineModel, seed: u64) -> CellOutcome {
+    let (profile, wall) = conv_profile(p, steps, machine, seed);
+    CellOutcome::from_profile(&profile, wall)
+}
+
+/// Average per-seed cell outcomes into the [`ConvRun`] the figures
+/// consume. The accumulation order (seeds outer, [`convolution::SECTIONS`]
+/// inner, divide once at the end) is the contract: it matches
+/// [`measure_convolution`] bit-for-bit, so figures regenerated from a
+/// store of cells are byte-identical to the ad-hoc harness output.
+pub fn conv_run_from_cells(p: usize, cells: &[CellOutcome]) -> ConvRun {
+    assert!(!cells.is_empty());
+    let mut acc: BTreeMap<String, f64> = BTreeMap::new();
+    let mut wall = 0.0;
+    for cell in cells {
+        wall += cell.wall_secs;
+        for label in convolution::SECTIONS {
+            let t = cell.section(label).map(|s| s.total_own_secs).unwrap_or(0.0);
+            *acc.entry(label.to_string()).or_insert(0.0) += t;
+        }
+    }
+    let n = cells.len() as f64;
+    acc.values_mut().for_each(|v| *v /= n);
+    ConvRun {
+        p,
+        wall: wall / n,
+        section_total: acc,
+    }
+}
+
 /// Run the convolution benchmark once at scale `p`, returning averaged
 /// section totals over `seeds` repetitions (the paper averages 20 runs).
 pub fn measure_convolution(
@@ -52,26 +137,43 @@ pub fn measure_convolution(
     seeds: &[u64],
 ) -> ConvRun {
     assert!(!seeds.is_empty());
-    let mut acc: BTreeMap<String, f64> = BTreeMap::new();
-    let mut wall = 0.0;
-    for &seed in seeds {
-        let (profile, makespan) = conv_profile(p, steps, machine, seed);
-        wall += makespan;
-        for label in convolution::SECTIONS {
-            let t = profile
-                .get_world(label)
-                .map(|s| s.total_own_secs)
-                .unwrap_or(0.0);
-            *acc.entry(label.to_string()).or_insert(0.0) += t;
-        }
-    }
-    let n = seeds.len() as f64;
-    acc.values_mut().for_each(|v| *v /= n);
-    ConvRun {
-        p,
-        wall: wall / n,
-        section_total: acc,
-    }
+    let cells: Vec<CellOutcome> = seeds
+        .iter()
+        .map(|&seed| conv_cell(p, steps, machine, seed))
+        .collect();
+    conv_run_from_cells(p, &cells)
+}
+
+/// Run one weak-scaling convolution cell: the per-rank image slice is held
+/// constant (`rows_per_rank` rows of the paper's 5616-wide image) while
+/// the global image grows with `p` — the Gustafson-regime workload.
+pub fn weak_conv_cell(
+    p: usize,
+    rows_per_rank: usize,
+    steps: usize,
+    machine: &MachineModel,
+    seed: u64,
+) -> CellOutcome {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    let profiler = SectionProfiler::new();
+    sections.attach(profiler.clone());
+    let s = sections.clone();
+    let cfg = Arc::new(ConvConfig {
+        width: 5616,
+        height: rows_per_rank * p,
+        steps,
+        fidelity: convolution::Fidelity::Timing,
+        store_path: None,
+    });
+    let report = WorldBuilder::new(p)
+        .machine(machine.clone())
+        .seed(seed)
+        .tool(sections.clone())
+        .run(move |pr| {
+            run_convolution(pr, &s, &cfg);
+        })
+        .expect("weak-scaling run failed");
+    CellOutcome::from_profile(&profiler.snapshot(), report.makespan_secs())
 }
 
 /// One convolution run, returning the full section profile.
@@ -158,12 +260,24 @@ pub fn lulesh_profile(
     machine: &MachineModel,
     seed: u64,
 ) -> Profile {
+    lulesh_profile_with_wall(p, s, iterations, threads, machine, seed).0
+}
+
+/// [`lulesh_profile`] plus the run's makespan in seconds.
+pub fn lulesh_profile_with_wall(
+    p: usize,
+    s: usize,
+    iterations: usize,
+    threads: usize,
+    machine: &MachineModel,
+    seed: u64,
+) -> (Profile, f64) {
     let sections = SectionRuntime::new(VerifyMode::Off);
     let profiler = SectionProfiler::new();
     sections.attach(profiler.clone());
     let sh = sections.clone();
     let cfg = Arc::new(LuleshConfig::timing(s, iterations, threads));
-    WorldBuilder::new(p)
+    let report = WorldBuilder::new(p)
         .machine(machine.clone())
         .seed(seed)
         .tool(sections.clone())
@@ -171,7 +285,111 @@ pub fn lulesh_profile(
             run_lulesh(pr, &sh, &cfg);
         })
         .expect("lulesh run failed");
-    profiler.snapshot()
+    (profiler.snapshot(), report.makespan_secs())
+}
+
+/// Run one LULESH grid cell in the hybrid configuration.
+pub fn lulesh_cell(
+    p: usize,
+    s: usize,
+    iterations: usize,
+    threads: usize,
+    machine: &MachineModel,
+    seed: u64,
+) -> CellOutcome {
+    let (profile, wall) = lulesh_profile_with_wall(p, s, iterations, threads, machine, seed);
+    CellOutcome::from_profile(&profile, wall)
+}
+
+// ---------------------------------------------------------------------
+// Shared figure row builders
+//
+// Both the ad-hoc `figures` harness and the mpistudy `report` command
+// build these CSVs; routing both through one function is what makes the
+// regenerated files byte-identical (same float summation order, same
+// formatting) — the property the study smoke test pins.
+// ---------------------------------------------------------------------
+
+/// The process counts of the §5.1 convolution study ("up to 456 cores").
+pub const CONV_PS: [usize; 13] = [1, 8, 16, 32, 64, 80, 96, 112, 128, 144, 192, 256, 456];
+
+/// Header of `results/fig6.csv`.
+pub const FIG6_HEADER: [&str; 5] = ["p", "halo_total_s", "B", "paper_halo_s", "paper_B"];
+
+/// The paper's Fig. 6 numbers: `p -> (HALO total s, bound B)`.
+pub fn fig6_paper() -> BTreeMap<usize, (f64, f64)> {
+    [
+        (64, (3025.44, 118.25)),
+        (80, (1288.64, 363.96)),
+        (112, (1822.38, 343.54)),
+        (128, (14135.56, 50.61)),
+        (144, (2716.03, 181.17)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The paper's 5589.84 s: the total section time of the sequential run
+/// (`runs` must start with the smallest scale).
+pub fn seq_total(runs: &[ConvRun]) -> f64 {
+    runs[0].section_total.values().sum()
+}
+
+/// Fig. 6 rows — inferred partial speedup bounds from the HALO section,
+/// next to the paper's values.
+pub fn fig6_rows(runs: &[ConvRun]) -> Vec<Vec<String>> {
+    let seq = seq_total(runs);
+    let paper = fig6_paper();
+    runs.iter()
+        .filter(|r| paper.contains_key(&r.p))
+        .map(|r| {
+            let halo = r.section_total["HALO"];
+            let b = speedup::partial_bound(seq, halo, r.p);
+            let (ph, pb) = paper[&r.p];
+            vec![r.p.to_string(), f2(halo), f2(b), f2(ph), f2(pb)]
+        })
+        .collect()
+}
+
+/// The process counts of the weak-scaling study.
+pub const WEAK_PS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Rows of image kept per rank in the weak-scaling study (1/8 of the
+/// paper's 3744-row image).
+pub const WEAK_ROWS_PER_RANK: usize = 468;
+
+/// Header of `results/weak_scaling.csv`.
+pub const WEAK_HEADER: [&str; 6] = [
+    "p",
+    "height",
+    "wall_s",
+    "weak_eff",
+    "scaled_speedup",
+    "gustafson_fs",
+];
+
+/// Weak-scaling rows from `(p, wall_secs)` points in ascending-`p` order
+/// (the `p = 1` point is the Gustafson baseline).
+pub fn weak_scaling_rows(rows_per_rank: usize, walls: &[(usize, f64)]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut t1 = 0.0;
+    for &(p, wall) in walls {
+        if p == 1 {
+            t1 = wall;
+        }
+        let eff = speedup::weak_efficiency(t1, wall);
+        let scaled = speedup::scaled_speedup_measured(t1, wall, p);
+        let fs = speedup::gustafson_serial_fraction(scaled, p);
+        rows.push(vec![
+            p.to_string(),
+            (rows_per_rank * p).to_string(),
+            f2(wall),
+            format!("{eff:.3}"),
+            f2(scaled),
+            format!("{fs:.4}"),
+        ]);
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------

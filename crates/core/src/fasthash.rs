@@ -14,6 +14,28 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// Hot-path replacement for `std::collections::HashMap`'s default hasher.
 pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
+/// FNV-1a over a byte string: the workspace's one *stable fingerprint*
+/// function. Unlike [`FastHasher`] (whose word-at-a-time folding is an
+/// implementation detail of the hot-path maps), FNV-1a is byte-exact and
+/// format-stable, so its values may be persisted: the mpistudy run store
+/// addresses documents by it, mpiverify fingerprints run artifacts with
+/// it, and metrics JSON embeds it as `results_fingerprint`. Changing this
+/// function invalidates every stored hash — don't.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`fnv1a`] of a string, rendered as the fixed-width hex form used for
+/// store filenames and JSON fingerprint fields.
+pub fn fnv1a_hex(text: &str) -> String {
+    format!("{:016x}", fnv1a(text.as_bytes()))
+}
+
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// The Fx word-at-a-time hasher.
@@ -100,6 +122,16 @@ mod tests {
         a.write(b"HALO");
         b.write(b"HALT");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // The canonical FNV-1a test vectors: any drift here would orphan
+        // every content-addressed store document.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(fnv1a_hex("foobar"), "85944171f73967e8");
     }
 
     #[test]

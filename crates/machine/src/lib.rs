@@ -18,6 +18,7 @@
 //! See `presets` for the three calibrated machines plus an `ideal()` machine
 //! used in tests and ablations.
 
+pub mod calibration;
 pub mod compute;
 pub mod config;
 pub mod network;
@@ -28,6 +29,7 @@ pub mod time;
 pub mod topology;
 pub mod work;
 
+pub use calibration::Calibration;
 pub use compute::{ComputeModel, CoreModel, MemoryModel};
 pub use config::ConfigError;
 pub use network::{CollectiveCost, LinkModel, NetworkModel};

@@ -1,0 +1,34 @@
+//! # mpistudy — the sweep orchestrator and run store
+//!
+//! The paper's §5 evaluation is a *grid*: every figure is some slice of
+//! (process count × machine × workload × seed). The ad-hoc `figures`
+//! harness re-simulates that grid from scratch on every invocation; this
+//! crate makes the grid a first-class, persistent object:
+//!
+//! * [`config`] — a grid cell's canonical configuration and its stable
+//!   FNV-1a content hash (the store key);
+//! * [`doc`] — the metrics document one simulated cell produces,
+//!   round-tripping byte-identically through the hand-rolled JSON layer;
+//! * [`store`] — the content-addressed on-disk store
+//!   (`runs/<hash>.json`, `machines/<hash>.json`);
+//! * [`pool`] — the worker pool that fans a grid across OS threads (each
+//!   run is a single-threaded DES world) and skips cells already stored:
+//!   a warm sweep touches zero simulation code;
+//! * [`report`] — cross-run analyses served entirely from the store:
+//!   per-section efficiency-vs-p, computation scaling, Eq. 6 bounds with
+//!   inflexion detection, and the `results/*.csv` figures regenerated
+//!   byte-identically to the harness (both share `bench`'s row builders).
+//!
+//! The `study` binary (`src/bin/study.rs`) drives all of it:
+//! `study run --grid … --jobs N`, `study report`, `study gc`.
+
+pub mod config;
+pub mod doc;
+pub mod pool;
+pub mod report;
+pub mod store;
+
+pub use config::{CellConfig, GridSpec, Workload};
+pub use doc::RunDoc;
+pub use pool::{run_sweep, SweepStats};
+pub use store::RunStore;

@@ -1,0 +1,171 @@
+//! The sweep worker pool.
+//!
+//! Each grid cell is a full DES world — single-threaded, deterministic,
+//! CPU-bound — so cells parallelize perfectly across OS threads: `--jobs
+//! N` runs N worlds at once with zero shared mutable simulation state.
+//! The pool is a plain shared `Mutex<VecDeque>` work queue (cells are
+//! seconds-long; queue contention is noise).
+//!
+//! Before simulating, a worker checks the store: a cell whose config hash
+//! is already present is **skipped without touching any simulation code**
+//! — the warm-sweep property the tests pin (`executed == 0`). Machine
+//! calibration is likewise derived once per distinct machine model
+//! (process-wide, `machine::calibration::cached`) and persisted once per
+//! fingerprint.
+
+use crate::config::{machine_fingerprint, resolve_machine, CellConfig, Workload};
+use crate::doc::RunDoc;
+use crate::store::RunStore;
+use bench::CellOutcome;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// What a sweep did: how many cells it simulated vs served from the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells actually simulated (and inserted).
+    pub executed: usize,
+    /// Cells already present — skipped without running any simulation.
+    pub cached: usize,
+}
+
+/// Simulate one cell (no store interaction).
+pub fn execute_cell(cfg: &CellConfig, machine: &machine::MachineModel) -> CellOutcome {
+    match cfg.workload {
+        Workload::Conv { steps } => bench::conv_cell(cfg.p, steps, machine, cfg.seed),
+        Workload::ConvWeak {
+            rows_per_rank,
+            steps,
+        } => bench::weak_conv_cell(cfg.p, rows_per_rank, steps, machine, cfg.seed),
+        Workload::Lulesh { s, iters, threads } => {
+            bench::lulesh_cell(cfg.p, s, iters, threads, machine, cfg.seed)
+        }
+    }
+}
+
+/// Fan `cells` across `jobs` worker threads against `store`. Returns the
+/// executed/cached split. Panics in a worker (a failed simulation)
+/// propagate after the pool drains.
+pub fn run_sweep(store: &RunStore, cells: &[CellConfig], jobs: usize) -> SweepStats {
+    let jobs = jobs.max(1);
+    let queue: Arc<Mutex<VecDeque<CellConfig>>> =
+        Arc::new(Mutex::new(cells.iter().cloned().collect()));
+    let stats = Arc::new(Mutex::new(SweepStats::default()));
+    let worker = |queue: Arc<Mutex<VecDeque<CellConfig>>>,
+                  stats: Arc<Mutex<SweepStats>>,
+                  store: RunStore| {
+        move || loop {
+            let Some(cfg) = queue.lock().expect("sweep queue").pop_front() else {
+                return;
+            };
+            // Resolving the preset is cheap; the calibration behind it is
+            // cached process-wide by the machine crate.
+            let machine = resolve_machine(&cfg.machine).expect("validated at parse time");
+            let fp = machine_fingerprint(&machine);
+            let hash = cfg.hash(&fp);
+            if store.contains(&hash) {
+                stats.lock().expect("sweep stats").cached += 1;
+                continue;
+            }
+            if !store.contains_machine(&fp) {
+                let calibration = machine::calibration::cached(&machine);
+                store
+                    .insert_machine(&fp, &calibration.to_json())
+                    .expect("store machine calibration");
+            }
+            let outcome = execute_cell(&cfg, &machine);
+            let doc = RunDoc::new(&cfg, &fp, &outcome);
+            store.insert(&doc).expect("store run document");
+            stats.lock().expect("sweep stats").executed += 1;
+        }
+    };
+    if jobs == 1 {
+        // Run inline: keeps single-job sweeps debuggable (no thread hop).
+        worker(queue, stats.clone(), store.clone())();
+    } else {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| std::thread::spawn(worker(queue.clone(), stats.clone(), store.clone())))
+            .collect();
+        for h in handles {
+            h.join().expect("sweep worker panicked");
+        }
+    }
+    let out = *stats.lock().expect("sweep stats");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GridSpec;
+
+    fn tmp_store(tag: &str) -> RunStore {
+        let dir =
+            std::env::temp_dir().join(format!("mpistudy-pool-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn warm_sweep_executes_nothing() {
+        // The tentpole acceptance test: a second sweep over an identical
+        // grid must be served entirely from the store.
+        let store = tmp_store("warm");
+        let grid =
+            GridSpec::parse("workload=conv machine=ideal p=1,2,4 steps=3 seeds=0,1").unwrap();
+        let cold = run_sweep(&store, &grid.cells(), 2);
+        assert_eq!(
+            cold,
+            SweepStats {
+                executed: 6,
+                cached: 0
+            }
+        );
+        let warm = run_sweep(&store, &grid.cells(), 2);
+        assert_eq!(
+            warm,
+            SweepStats {
+                executed: 0,
+                cached: 6
+            }
+        );
+        // And the store holds exactly the grid, plus one machine doc.
+        assert_eq!(store.iter().len(), 6);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn partial_overlap_executes_only_the_new_cells() {
+        let store = tmp_store("overlap");
+        let small = GridSpec::parse("workload=conv machine=ideal p=1,2 steps=3").unwrap();
+        run_sweep(&store, &small.cells(), 1);
+        let bigger = GridSpec::parse("workload=conv machine=ideal p=1,2,4,8 steps=3").unwrap();
+        let stats = run_sweep(&store, &bigger.cells(), 2);
+        assert_eq!(
+            stats,
+            SweepStats {
+                executed: 2,
+                cached: 2
+            }
+        );
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_store_identical_documents() {
+        // Determinism across the pool: each cell is an isolated world, so
+        // jobs=4 must produce byte-identical documents to jobs=1.
+        let grid =
+            GridSpec::parse("workload=conv machine=ideal p=1,2,4,8 steps=3 seeds=0,1").unwrap();
+        let serial = tmp_store("serial");
+        let parallel = tmp_store("parallel");
+        run_sweep(&serial, &grid.cells(), 1);
+        run_sweep(&parallel, &grid.cells(), 4);
+        let a: Vec<String> = serial.iter().iter().map(RunDoc::to_json).collect();
+        let b: Vec<String> = parallel.iter().iter().map(RunDoc::to_json).collect();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(serial.root());
+        let _ = std::fs::remove_dir_all(parallel.root());
+    }
+}

@@ -1,0 +1,517 @@
+//! Cross-run analyses served entirely from the store.
+//!
+//! `study report` never simulates: it ingests every stored run document,
+//! groups the convolution cells into the §5.1 sweep and the weak-scaling
+//! cells into the Gustafson sweep, and emits
+//!
+//! * a pypop-style per-section table — parallel efficiency vs p,
+//!   computation-scaling rows, Eq. 6 bound and the detected inflexion;
+//! * the `results/*.csv` figures, rebuilt through the **same** `bench`
+//!   row builders the ad-hoc harness uses, so the regenerated files are
+//!   byte-identical to harness output for the same seeds;
+//! * a machine-readable report document (`mpistudy-report-v1`).
+
+use crate::doc::RunDoc;
+use crate::store::RunStore;
+use bench::{conv_run_from_cells, ConvRun};
+use speedup::{ScalingStudy, StoredSectionRow};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Everything `study report` derives from one store.
+#[derive(Debug)]
+pub struct Report {
+    /// Stored run documents considered (all of them).
+    pub total_docs: usize,
+    /// The convolution sweep group: `(machine, steps)` and its runs,
+    /// seed-averaged per p (ascending).
+    pub conv: Option<ConvGroup>,
+    /// The weak-scaling group: `(machine, steps, rows_per_rank)` and its
+    /// `(p, wall)` points (ascending p).
+    pub weak: Option<WeakGroup>,
+}
+
+/// The seed-averaged §5.1-style convolution sweep found in the store.
+#[derive(Debug)]
+pub struct ConvGroup {
+    /// Machine preset name.
+    pub machine: String,
+    /// Time steps per cell.
+    pub steps: usize,
+    /// Seeds that were averaged (ascending).
+    pub seeds: Vec<u64>,
+    /// Seed-averaged runs, ascending p.
+    pub runs: Vec<ConvRun>,
+    /// The multi-scale section study over the stored rows.
+    pub study: ScalingStudy,
+}
+
+/// The weak-scaling sweep found in the store.
+#[derive(Debug)]
+pub struct WeakGroup {
+    /// Machine preset name.
+    pub machine: String,
+    /// Time steps per cell.
+    pub steps: usize,
+    /// Image rows per rank.
+    pub rows_per_rank: usize,
+    /// `(p, wall_secs)`, ascending p.
+    pub walls: Vec<(usize, f64)>,
+}
+
+/// Build the report from every document in the store. When the store
+/// holds several distinct sweeps, the largest group wins (ties break on
+/// the group key, deterministically).
+pub fn build(store: &RunStore) -> Report {
+    let docs = store.iter();
+    Report {
+        total_docs: docs.len(),
+        conv: conv_group(&docs),
+        weak: weak_group(&docs),
+    }
+}
+
+fn conv_group(docs: &[RunDoc]) -> Option<ConvGroup> {
+    let mut groups: BTreeMap<(String, usize), Vec<&RunDoc>> = BTreeMap::new();
+    for doc in docs.iter().filter(|d| d.workload == "conv") {
+        if let Some(steps) = doc.steps() {
+            groups
+                .entry((doc.machine.clone(), steps))
+                .or_default()
+                .push(doc);
+        }
+    }
+    let ((machine, steps), members) = groups
+        .into_iter()
+        .max_by_key(|((m, s), v)| (v.len(), std::cmp::Reverse((m.clone(), *s))))?;
+
+    // Seeds must be complete across every p for the average to mean the
+    // same thing at every scale; use the intersection, ascending (the
+    // order the harness feeds seeds in).
+    let mut by_p: BTreeMap<usize, BTreeMap<u64, &RunDoc>> = BTreeMap::new();
+    for doc in &members {
+        by_p.entry(doc.p).or_default().insert(doc.seed, doc);
+    }
+    let mut seeds: Vec<u64> = by_p.values().next()?.keys().copied().collect();
+    seeds.retain(|s| by_p.values().all(|m| m.contains_key(s)));
+    if seeds.is_empty() {
+        return None;
+    }
+
+    let runs: Vec<ConvRun> = by_p
+        .iter()
+        .map(|(&p, by_seed)| {
+            let cells: Vec<_> = seeds.iter().map(|s| by_seed[s].outcome()).collect();
+            conv_run_from_cells(p, &cells)
+        })
+        .collect();
+
+    // Section study rows: per (p, label), seed-averaged — same seed order
+    // as the figures. Labels come from the first seed's document (all
+    // seeds of a deterministic workload profile the same sections).
+    let mut rows: Vec<StoredSectionRow> = Vec::new();
+    for (&p, by_seed) in &by_p {
+        let first = by_seed[&seeds[0]];
+        for section in &first.sections {
+            let n = seeds.len() as f64;
+            let mut avg = 0.0;
+            let mut excl = 0.0;
+            for s in &seeds {
+                if let Some(sec) = by_seed[s].outcome().section(&section.label) {
+                    avg += sec.avg_per_rank_secs;
+                    excl += sec.total_excl_secs;
+                }
+            }
+            rows.push(StoredSectionRow {
+                p,
+                label: section.label.clone(),
+                avg_per_rank_secs: avg / n,
+                total_excl_secs: excl / n,
+            });
+        }
+    }
+    Some(ConvGroup {
+        machine,
+        steps,
+        seeds,
+        runs,
+        study: ScalingStudy::from_rows(&rows),
+    })
+}
+
+fn weak_group(docs: &[RunDoc]) -> Option<WeakGroup> {
+    let mut groups: BTreeMap<(String, usize, usize), Vec<&RunDoc>> = BTreeMap::new();
+    for doc in docs.iter().filter(|d| d.workload == "conv-weak") {
+        if let (Some(steps), Some(rpr)) = (doc.steps(), doc.rows_per_rank()) {
+            groups
+                .entry((doc.machine.clone(), steps, rpr))
+                .or_default()
+                .push(doc);
+        }
+    }
+    let ((machine, steps, rows_per_rank), members) = groups
+        .into_iter()
+        .max_by_key(|(k, v)| (v.len(), std::cmp::Reverse(k.clone())))?;
+    let mut walls: BTreeMap<usize, f64> = BTreeMap::new();
+    for doc in members {
+        walls.insert(doc.p, doc.wall_secs);
+    }
+    Some(WeakGroup {
+        machine,
+        steps,
+        rows_per_rank,
+        walls: walls.into_iter().collect(),
+    })
+}
+
+impl Report {
+    /// The human-facing report: the study verdict plus the pypop-style
+    /// per-section table.
+    pub fn render(&self) -> String {
+        let mut out = format!("run store: {} documents\n", self.total_docs);
+        if let Some(conv) = &self.conv {
+            out.push_str(&format!(
+                "\nconvolution sweep: machine={} steps={} seeds={:?} p={:?}\n\n",
+                conv.machine,
+                conv.steps,
+                conv.seeds,
+                conv.runs.iter().map(|r| r.p).collect::<Vec<_>>(),
+            ));
+            out.push_str(&conv.study.render());
+            out.push('\n');
+            out.push_str(&section_table(conv));
+        } else {
+            out.push_str("\n(no convolution sweep stored)\n");
+        }
+        if let Some(weak) = &self.weak {
+            out.push_str(&format!(
+                "\nweak scaling: machine={} steps={} rows/rank={}\n",
+                weak.machine, weak.steps, weak.rows_per_rank
+            ));
+            out.push_str(&bench::render_table(
+                &bench::WEAK_HEADER,
+                &bench::weak_scaling_rows(weak.rows_per_rank, &weak.walls),
+            ));
+        }
+        out
+    }
+
+    /// Regenerate the figure CSVs this store can serve, returning the
+    /// paths written. Output is byte-identical to the `figures` harness
+    /// for the same machine/steps/seeds because both call the same
+    /// `bench` row builders on the same numbers.
+    pub fn write_figures(&self, out_dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        if let Some(conv) = &self.conv {
+            let rows = bench::fig6_rows(&conv.runs);
+            if !rows.is_empty() {
+                written.push(bench::write_csv(
+                    out_dir,
+                    "fig6",
+                    &bench::FIG6_HEADER,
+                    &rows,
+                )?);
+            }
+        }
+        if let Some(weak) = &self.weak {
+            let rows = bench::weak_scaling_rows(weak.rows_per_rank, &weak.walls);
+            written.push(bench::write_csv(
+                out_dir,
+                "weak_scaling",
+                &bench::WEAK_HEADER,
+                &rows,
+            )?);
+        }
+        Ok(written)
+    }
+
+    /// Machine-readable report (`mpistudy-report-v1`, jsoncheck-valid).
+    pub fn to_json(&self) -> String {
+        let conv = match &self.conv {
+            None => "null".to_string(),
+            Some(conv) => {
+                let sections: Vec<String> = conv
+                    .study
+                    .sections
+                    .values()
+                    .map(|s| {
+                        let effs: Vec<String> = efficiency_series(s)
+                            .iter()
+                            .map(|(p, e)| format!("{{\"p\": {p}, \"eff\": {e}}}"))
+                            .collect();
+                        let bounds: Vec<String> = s
+                            .bounds
+                            .iter()
+                            .map(|(p, b)| {
+                                let b = if b.is_finite() {
+                                    format!("{b}")
+                                } else {
+                                    "null".to_string()
+                                };
+                                format!("{{\"p\": {p}, \"bound\": {b}}}")
+                            })
+                            .collect();
+                        format!(
+                            "{{\"label\": \"{}\", \"inflexion_p\": {}, \
+                             \"efficiency\": [{}], \"bounds\": [{}]}}",
+                            s.label,
+                            s.inflexion_p
+                                .map(|p| p.to_string())
+                                .unwrap_or_else(|| "null".into()),
+                            effs.join(", "),
+                            bounds.join(", "),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"machine\": \"{}\", \"steps\": {}, \"seeds\": {:?}, \
+                     \"seq_total_secs\": {}, \"sections\": [{}]}}",
+                    conv.machine,
+                    conv.steps,
+                    conv.seeds,
+                    conv.study.seq_total_secs,
+                    sections.join(", "),
+                )
+            }
+        };
+        let weak = match &self.weak {
+            None => "null".to_string(),
+            Some(weak) => {
+                let walls: Vec<String> = weak
+                    .walls
+                    .iter()
+                    .map(|(p, w)| format!("{{\"p\": {p}, \"wall_secs\": {w}}}"))
+                    .collect();
+                format!(
+                    "{{\"machine\": \"{}\", \"steps\": {}, \"rows_per_rank\": {}, \
+                     \"walls\": [{}]}}",
+                    weak.machine,
+                    weak.steps,
+                    weak.rows_per_rank,
+                    walls.join(", "),
+                )
+            }
+        };
+        format!(
+            "{{\"schema\": \"mpistudy-report-v1\", \"total_docs\": {}, \
+             \"conv\": {conv}, \"weak\": {weak}}}\n",
+            self.total_docs,
+        )
+    }
+}
+
+/// Parallel efficiency of one section vs scale: `(t_base * p_base) /
+/// (t_p * p)` over its per-process series — 1.0 is perfect scaling.
+fn efficiency_series(s: &speedup::SectionStudy) -> Vec<(usize, f64)> {
+    let pts = s.per_process.points();
+    let Some(base) = pts.first() else {
+        return Vec::new();
+    };
+    let base_area = base.secs * base.p as f64;
+    if base_area <= 0.0 {
+        // The section does not exist at the baseline (HALO with one
+        // rank): efficiency relative to it is undefined, not zero.
+        return Vec::new();
+    }
+    pts.iter()
+        .map(|pt| {
+            let area = pt.secs * pt.p as f64;
+            (pt.p, if area > 0.0 { base_area / area } else { 0.0 })
+        })
+        .collect()
+}
+
+/// The pypop-style table: one block per section, with parallel
+/// efficiency, computation scaling (total exclusive time relative to the
+/// baseline) and the Eq. 6 bound at every stored scale.
+fn section_table(conv: &ConvGroup) -> String {
+    let ps: Vec<usize> = conv.runs.iter().map(|r| r.p).collect();
+    let mut header: Vec<String> = vec!["section".into(), "metric".into()];
+    header.extend(ps.iter().map(|p| format!("p={p}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let base_p = ps.first().copied().unwrap_or(1);
+    let mut rows = Vec::new();
+    for s in conv.study.sections.values() {
+        let effs: BTreeMap<usize, f64> = efficiency_series(s).into_iter().collect();
+        let mut eff_row = vec![s.label.clone(), "parallel_eff".into()];
+        let mut comp_row = vec![String::new(), "comp_scaling".into()];
+        let mut bound_row = vec![String::new(), "eq6_bound".into()];
+        let base_total = conv
+            .runs
+            .first()
+            .and_then(|r| r.section_total.get(&s.label))
+            .copied()
+            .unwrap_or(0.0);
+        for &p in &ps {
+            eff_row.push(
+                effs.get(&p)
+                    .map(|e| format!("{e:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            let total = conv
+                .runs
+                .iter()
+                .find(|r| r.p == p)
+                .and_then(|r| r.section_total.get(&s.label))
+                .copied()
+                .unwrap_or(0.0);
+            comp_row.push(if base_total > 0.0 {
+                format!("{:.3}", total / base_total)
+            } else {
+                "-".into()
+            });
+            bound_row.push(
+                s.bounds
+                    .iter()
+                    .find(|(bp, _)| *bp == p)
+                    .map(|(_, b)| bench::f2(*b))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        rows.push(eff_row);
+        rows.push(comp_row);
+        rows.push(bound_row);
+    }
+    let mut out = format!(
+        "per-section scaling (baseline p={base_p}; parallel_eff 1.000 = perfect, \
+         comp_scaling 1.000 = work conserved):\n"
+    );
+    out.push_str(&bench::render_table(&header_refs, &rows));
+    if let Some(inflexion) = conv
+        .study
+        .saturated_sections()
+        .iter()
+        .map(|s| format!("{} (p={})", s.label, s.inflexion_p.unwrap_or(0)))
+        .reduce(|a, b| format!("{a}, {b}"))
+    {
+        out.push_str(&format!(
+            "sections past their inflexion before the largest scale: {inflexion}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GridSpec;
+    use crate::pool::run_sweep;
+
+    fn tmp_store(tag: &str) -> RunStore {
+        let dir =
+            std::env::temp_dir().join(format!("mpistudy-report-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn report_from_small_sweep() {
+        let store = tmp_store("basic");
+        let grid =
+            GridSpec::parse("workload=conv machine=nehalem_cluster p=1,4,16 steps=5 seeds=0,1")
+                .unwrap();
+        run_sweep(&store, &grid.cells(), 2);
+        let report = build(&store);
+        let conv = report.conv.as_ref().expect("conv group");
+        assert_eq!(conv.seeds, vec![0, 1]);
+        assert_eq!(
+            conv.runs.iter().map(|r| r.p).collect::<Vec<_>>(),
+            vec![1, 4, 16]
+        );
+        let text = report.render();
+        assert!(text.contains("parallel_eff"));
+        assert!(text.contains("eq6_bound"));
+        assert!(text.contains("CONVOLVE"));
+        mpisim::jsoncheck::assert_json(&report.to_json(), "report document");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn stored_runs_match_the_harness_bitwise() {
+        // The acceptance criterion behind figure regeneration: the seed-
+        // averaged runs reconstructed from stored documents must equal
+        // measure_convolution's in-process result bit-for-bit.
+        let store = tmp_store("bitwise");
+        let grid = GridSpec::parse("workload=conv machine=nehalem_cluster p=1,4 steps=5 seeds=0,1")
+            .unwrap();
+        run_sweep(&store, &grid.cells(), 2);
+        let conv = build(&store).conv.expect("conv group");
+        let machine = machine::presets::nehalem_cluster();
+        for run in &conv.runs {
+            let direct = bench::measure_convolution(run.p, 5, &machine, &[0, 1]);
+            assert_eq!(run.wall.to_bits(), direct.wall.to_bits(), "p={}", run.p);
+            for (label, total) in &run.section_total {
+                assert_eq!(
+                    total.to_bits(),
+                    direct.section_total[label].to_bits(),
+                    "p={} {label}",
+                    run.p
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn fig6_regenerates_byte_identical_to_the_harness() {
+        // p=1 is the baseline; 64 and 80 are paper scales Fig. 6 reports.
+        let store = tmp_store("fig6");
+        let grid =
+            GridSpec::parse("workload=conv machine=nehalem_cluster p=1,64,80 steps=5 seeds=0,1")
+                .unwrap();
+        run_sweep(&store, &grid.cells(), 2);
+        let report = build(&store);
+        let out = store.root().join("figures");
+        let written = report.write_figures(&out).unwrap();
+        assert!(written.iter().any(|p| p.ends_with("fig6.csv")));
+
+        // The ad-hoc harness path on the same cells.
+        let machine = machine::presets::nehalem_cluster();
+        let runs: Vec<ConvRun> = [1usize, 64, 80]
+            .iter()
+            .map(|&p| bench::measure_convolution(p, 5, &machine, &[0, 1]))
+            .collect();
+        let mut expected = bench::FIG6_HEADER.join(",");
+        expected.push('\n');
+        for row in bench::fig6_rows(&runs) {
+            expected.push_str(&row.join(","));
+            expected.push('\n');
+        }
+        let stored = std::fs::read_to_string(out.join("fig6.csv")).unwrap();
+        assert_eq!(stored, expected);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn weak_group_and_figures() {
+        let store = tmp_store("weak");
+        let grid = GridSpec::parse(
+            "workload=conv-weak machine=nehalem_cluster p=1,2,4 rows_per_rank=64 steps=4 seeds=31",
+        )
+        .unwrap();
+        run_sweep(&store, &grid.cells(), 2);
+        let report = build(&store);
+        let weak = report.weak.as_ref().expect("weak group");
+        assert_eq!(weak.rows_per_rank, 64);
+        assert_eq!(weak.walls.len(), 3);
+        let out = store.root().join("figures");
+        let written = report.write_figures(&out).unwrap();
+        assert!(written.iter().any(|p| p.ends_with("weak_scaling.csv")));
+        // Byte-identity with the harness path for the same cells.
+        let machine = machine::presets::nehalem_cluster();
+        let walls: Vec<(usize, f64)> = [1usize, 2, 4]
+            .iter()
+            .map(|&p| (p, bench::weak_conv_cell(p, 64, 4, &machine, 31).wall_secs))
+            .collect();
+        let harness_rows = bench::weak_scaling_rows(64, &walls);
+        let stored = std::fs::read_to_string(out.join("weak_scaling.csv")).unwrap();
+        let mut expected = bench::WEAK_HEADER.join(",");
+        expected.push('\n');
+        for row in harness_rows {
+            expected.push_str(&row.join(","));
+            expected.push('\n');
+        }
+        assert_eq!(stored, expected);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -150,14 +150,12 @@ impl Report {
 /// FNV-1a over the artifact string: cheap, deterministic, and collision
 /// risk is irrelevant here (a collision can only mask a divergence the
 /// caller's artifact already recorded byte-for-byte; the witness replay
-/// in CI would catch it).
+/// in CI would catch it). The hash itself is the workspace-wide stable
+/// fingerprint from `mpi_sections::fasthash` — the same function that
+/// addresses mpistudy's run store, so verifier fingerprints and store
+/// keys never drift apart.
 pub fn fingerprint(artifact: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in artifact.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    mpi_sections::fasthash::fnv1a(artifact.as_bytes())
 }
 
 /// Explore the matchings of the program `run` executes.

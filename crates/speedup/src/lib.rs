@@ -40,7 +40,7 @@ pub use partial::{
 };
 pub use series::{crossover, ScalePoint, ScalingSeries};
 pub use stats::RepStats;
-pub use study::{ScalingStudy, SectionStudy};
+pub use study::{ScalingStudy, SectionStudy, StoredSectionRow};
 pub use trend::{SectionTrend, TrendConfig};
 
 #[cfg(test)]

@@ -26,6 +26,21 @@ pub struct SectionStudy {
     pub inflexion_p: Option<usize>,
 }
 
+/// One persisted per-(scale, section) measurement, as the mpistudy run
+/// store serves them: no live [`Profile`] object, just the numbers a
+/// stored metrics document carries.
+#[derive(Debug, Clone)]
+pub struct StoredSectionRow {
+    /// Scale (MPI processes, or threads for a thread study).
+    pub p: usize,
+    /// Section label (world communicator).
+    pub label: String,
+    /// Inclusive seconds averaged per participating rank.
+    pub avg_per_rank_secs: f64,
+    /// Exclusive seconds summed over ranks (Eq. 6 numerator material).
+    pub total_excl_secs: f64,
+}
+
 /// A multi-scale scaling study over section profiles.
 #[derive(Debug, Clone)]
 pub struct ScalingStudy {
@@ -49,41 +64,74 @@ impl ScalingStudy {
     /// work-conserving sections, inflated by whatever overhead the
     /// baseline itself already pays).
     pub fn new(measurements: &[(usize, Profile)]) -> ScalingStudy {
+        // World-communicator sections only: sub-communicator sections
+        // can share labels across disjoint comms (two "solver" teams),
+        // which cannot be lined up across scales by label.
+        let rows: Vec<StoredSectionRow> = measurements
+            .iter()
+            .flat_map(|(p, profile)| {
+                // MPI_MAIN is not a world label (it is the program frame),
+                // but the store rows must carry it: it is the walltime row.
+                let mut labels = vec![MPI_MAIN];
+                labels.extend(profile.world_labels());
+                labels
+                    .into_iter()
+                    .filter_map(|label| profile.get_world(label))
+                    .map(|stats| StoredSectionRow {
+                        p: *p,
+                        label: stats.key.label.clone(),
+                        avg_per_rank_secs: stats.avg_per_rank_secs(),
+                        total_excl_secs: stats.total_excl_secs,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         assert!(!measurements.is_empty(), "study needs measurements");
-        let mut sorted: Vec<&(usize, Profile)> = measurements.iter().collect();
-        sorted.sort_by_key(|(p, _)| *p);
-        let (_, base) = sorted[0];
+        ScalingStudy::from_rows(&rows)
+    }
+
+    /// Build from persisted per-(scale, section) rows — the constructor
+    /// the mpistudy run store feeds: it has no [`Profile`] objects, only
+    /// the rows its metrics documents recorded. Requires at least one
+    /// row; the smallest `p` is the baseline, exactly as in
+    /// [`ScalingStudy::new`] (the two constructors agree bit-for-bit on
+    /// equal inputs — pinned by a test below).
+    pub fn from_rows(rows: &[StoredSectionRow]) -> ScalingStudy {
+        assert!(!rows.is_empty(), "study needs measurements");
+        let mut ps: Vec<usize> = rows.iter().map(|r| r.p).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        let base_p = ps[0];
         // Eq. 6's numerator is the *total program time* — the sum of
         // exclusive section times (they partition the run). Summing
         // inclusive times would double-count nested sections.
-        let seq_total_secs: f64 = base
-            .world_labels()
+        // The MPI_MAIN row is the program frame: it feeds the walltime
+        // series, never the section studies or the numerator (its
+        // exclusive time is unattributed glue, not a leaf section).
+        let seq_total_secs: f64 = rows
             .iter()
-            .filter_map(|l| base.get_world(l))
-            .map(|s| s.total_excl_secs)
+            .filter(|r| r.p == base_p && r.label != MPI_MAIN)
+            .map(|r| r.total_excl_secs)
             .sum();
 
         let mut walltime_points = Vec::new();
         // Per label: (per-process time points, Eq. 6 bound points).
         type LabelPoints = (Vec<(usize, f64)>, Vec<(usize, f64)>);
         let mut per_label: BTreeMap<String, LabelPoints> = BTreeMap::new();
-        for (p, profile) in &sorted {
-            if let Some(main) = profile.get_world(MPI_MAIN) {
-                walltime_points.push((*p, main.avg_per_rank_secs()));
-            }
-            // World-communicator sections only: sub-communicator sections
-            // can share labels across disjoint comms (two "solver" teams),
-            // which cannot be lined up across scales by label.
-            for label in profile.world_labels() {
-                let stats = profile.get_world(label).expect("listed label");
-                let entry = per_label.entry(stats.key.label.clone()).or_default();
-                entry.0.push((*p, stats.avg_per_rank_secs()));
+        for &p in &ps {
+            for row in rows.iter().filter(|r| r.p == p) {
+                if row.label == MPI_MAIN {
+                    walltime_points.push((p, row.avg_per_rank_secs));
+                    continue;
+                }
+                let entry = per_label.entry(row.label.clone()).or_default();
+                entry.0.push((p, row.avg_per_rank_secs));
                 // Eq. 6 in per-process form: correct both for MPI scaling
                 // (participants == p) and for thread scaling (one rank,
                 // p counts threads).
                 entry.1.push((
-                    *p,
-                    partial_bound_per_process(seq_total_secs, stats.avg_per_rank_secs()),
+                    p,
+                    partial_bound_per_process(seq_total_secs, row.avg_per_rank_secs),
                 ));
             }
         }
@@ -295,6 +343,61 @@ mod tests {
     #[should_panic(expected = "needs measurements")]
     fn empty_study_rejected() {
         let _ = ScalingStudy::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs measurements")]
+    fn empty_rows_rejected() {
+        let _ = ScalingStudy::from_rows(&[]);
+    }
+
+    #[test]
+    fn from_rows_matches_profile_constructor_bitwise() {
+        // The store-ingestion path must agree with the in-process path
+        // bit-for-bit, or regenerated figures drift from harness output.
+        let ms: Vec<(usize, Profile)> = [1usize, 4, 16]
+            .iter()
+            .map(|&p| (p, profile_at(p)))
+            .collect();
+        let rows: Vec<StoredSectionRow> = ms
+            .iter()
+            .flat_map(|(p, profile)| {
+                let mut labels = vec![mpi_sections::MPI_MAIN];
+                labels.extend(profile.world_labels());
+                labels.into_iter().map(|label| {
+                    let stats = profile.get_world(label).expect("listed label");
+                    StoredSectionRow {
+                        p: *p,
+                        label: stats.key.label.clone(),
+                        avg_per_rank_secs: stats.avg_per_rank_secs(),
+                        total_excl_secs: stats.total_excl_secs,
+                    }
+                })
+            })
+            .collect();
+        let a = ScalingStudy::new(&ms);
+        let b = ScalingStudy::from_rows(&rows);
+        assert_eq!(a.seq_total_secs.to_bits(), b.seq_total_secs.to_bits());
+        for (wa, wb) in a.walltime.points().iter().zip(b.walltime.points()) {
+            assert_eq!(wa.p, wb.p);
+            assert_eq!(wa.secs.to_bits(), wb.secs.to_bits());
+        }
+        assert_eq!(
+            a.sections.keys().collect::<Vec<_>>(),
+            b.sections.keys().collect::<Vec<_>>()
+        );
+        for (label, sa) in &a.sections {
+            let sb = &b.sections[label];
+            assert_eq!(sa.inflexion_p, sb.inflexion_p, "{label}");
+            for (pa, pb) in sa.per_process.points().iter().zip(sb.per_process.points()) {
+                assert_eq!(pa.p, pb.p);
+                assert_eq!(pa.secs.to_bits(), pb.secs.to_bits(), "{label} p={}", pa.p);
+            }
+            for (ba, bb) in sa.bounds.iter().zip(&sb.bounds) {
+                assert_eq!(ba.0, bb.0);
+                assert_eq!(ba.1.to_bits(), bb.1.to_bits(), "{label} bound p={}", ba.0);
+            }
+        }
     }
 
     #[test]

@@ -92,6 +92,29 @@ if grep -q '"verdict":"confirmed"' "$smoke_clean"; then
 fi
 rm -f "$smoke_clean"
 
+echo "==> smoke: study service (cold sweep, warm cache, report, gc)"
+smoke_store="$(mktemp -d /tmp/check-study.XXXXXX)"
+smoke_grid="workload=conv machine=nehalem_cluster p=1,4,8 steps=5 seeds=0,1"
+cold_out="$(cargo run -q --release -p mpistudy --bin study -- \
+    run --store "$smoke_store" --grid "$smoke_grid" --jobs 2)"
+echo "$cold_out" | grep -q '6 cells, 6 executed, 0 cached' \
+    || { echo "study run (cold): unexpected stats: $cold_out"; exit 1; }
+# The warm rerun must be served entirely from the store: zero simulations.
+warm_out="$(cargo run -q --release -p mpistudy --bin study -- \
+    run --store "$smoke_store" --grid "$smoke_grid" --jobs 2)"
+echo "$warm_out" | grep -q '6 cells, 0 executed, 6 cached (100% hit)' \
+    || { echo "study run (warm): expected 100% cache hits: $warm_out"; exit 1; }
+smoke_report="$(mktemp /tmp/check-study-report.XXXXXX.json)"
+cargo run -q --release -p mpistudy --bin study -- \
+    report --store "$smoke_store" --json > "$smoke_report"
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_report"
+grep -q '"schema": "mpistudy-report-v1"' "$smoke_report" \
+    || { echo "study report: missing schema marker"; exit 1; }
+cargo run -q --release -p mpistudy --bin study -- gc --store "$smoke_store" \
+    | grep -q '6 intact, 0 removed' \
+    || { echo "study gc: store should be intact"; exit 1; }
+rm -rf "$smoke_store" "$smoke_report"
+
 echo "==> smoke: DES scale, conv --p 4096 (time-boxed)"
 smoke_scale="$(mktemp /tmp/check-scale.XXXXXX.json)"
 scale_start="$(date +%s)"
