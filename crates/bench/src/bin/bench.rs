@@ -73,6 +73,52 @@ fn timeline_build_us(p: usize, steps: usize, windows: usize, reps: usize) -> f64
     start.elapsed().as_nanos() as f64 / 1_000.0 / reps as f64
 }
 
+/// Counterfactual-replay throughput over a recorded convolution log:
+/// recorded events re-timed per host second by an identity replay, and
+/// full what-if scenario evaluations (replay, wait-state classification,
+/// critical path, windowed timeline, trend detection) per host second.
+/// Recorded on the nehalem model so the replay also exercises
+/// jitter-stream regeneration.
+fn replay_throughput(p: usize, steps: usize, reps: usize) -> (f64, f64) {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    let recorder = CommRecorder::new();
+    let s = sections.clone();
+    let cfg = Arc::new(convolution::ConvConfig::paper(steps));
+    let m = machine::presets::nehalem_cluster();
+    WorldBuilder::new(p)
+        .machine(m.clone())
+        .seed(1)
+        .tool(sections.clone())
+        .tool(recorder.clone())
+        .run(move |pr| {
+            convolution::run_convolution(pr, &s, &cfg);
+        })
+        .expect("recorded run failed");
+    let log = recorder.freeze();
+    let events = log.events();
+    let identity = mpi_sections::WhatIfSpec::identity();
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(
+            mpi_sections::replay(&log, &m, 1, &identity).expect("identity replay"),
+        );
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let events_per_sec = events as f64 / best;
+    let spec = mpi_sections::whatif::parse("jitter=0").expect("valid spec");
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(
+            bench::whatif::analyze(&log, &m, 1, &spec, 1.0, p, &Windowing::Fixed(8))
+                .expect("scenario"),
+        );
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (events_per_sec, 1.0 / best)
+}
+
 /// Verifier throughput: explored schedules (full forced re-executions of
 /// a 4-rank wildcard-fold world) per host second, best of `reps`.
 fn verify_schedules_per_sec(reps: usize) -> f64 {
@@ -176,6 +222,8 @@ fn main() {
 
     let verify_sps = verify_schedules_per_sec(5);
 
+    let (replay_eps, whatif_sps) = replay_throughput(8, conv_steps, 10);
+
     // Scale sweep on the DES engine. Order matters twice over: the
     // 16384-rank run fragments the heap enough to distort the section
     // micro-benchmarks, so it runs after them; and a 64-thread run leaves
@@ -226,7 +274,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"verify_schedules_per_sec\": {verify_sps:.2},\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400, \"vs_p_step_budget\": {STEP_BUDGET}, \"vs_p_min_steps\": {MIN_STEPS}}}\n}}\n",
+        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"verify_schedules_per_sec\": {verify_sps:.2},\n  \"replay_events_per_sec\": {replay_eps:.2},\n  \"whatif_scenarios_per_sec\": {whatif_sps:.2},\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400, \"vs_p_step_budget\": {STEP_BUDGET}, \"vs_p_min_steps\": {MIN_STEPS}}}\n}}\n",
         (profiled_ns - bare_ns).max(0.0),
         sweep_json.join(", "),
         des_p64 / threads_p64

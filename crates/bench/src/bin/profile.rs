@@ -69,6 +69,17 @@
 //!   --window-align LABEL  align windows to iterations of the named
 //!                  outermost section (one window per entry observed on
 //!                  rank 0) instead of fixed widths
+//!   --what-if SPEC  counterfactual replay: re-time the recorded trace
+//!                  under an altered machine model and report predicted
+//!                  makespan/speedup, re-evaluated Eq. 6 and critical-path
+//!                  bounds, re-timed wait-state totals and the trend
+//!                  verdict. Repeatable (one scenario per flag). SPEC is a
+//!                  comma-separated clause list: `net=ideal` (or another
+//!                  machine name) re-prices every message and collective,
+//!                  `jitter=0` replays noise-free, `null=late-sender`
+//!                  (late-receiver | wait-at-collective) nulls one
+//!                  wait-state class, `scale:HALO=0.5` scales a section's
+//!                  local work
 //! ```
 //!
 //! With any of the timeline flags active, `--metrics-json` gains a
@@ -116,13 +127,14 @@ struct Args {
     timeline: Option<String>,
     windows: usize,
     window_align: Option<String>,
+    what_if: Vec<String>,
 }
 
 const USAGE: &str = "usage: profile <conv|lulesh|race> [--p N] [--threads N] [--steps N] [--iters N] \
 [--engine threads|des] [--machine M] [--machine-file F] [--seed N] [--trace FILE] [--csv FILE] [--profile-csv FILE] \
 [--check] [--verify] [--verify-budget N] [--verify-json FILE] [--verify-witnesses PREFIX] \
 [--replay-schedule FILE] [--metrics] [--comm-matrix] [--flamegraph FILE] [--metrics-json FILE] [--compare-seq] \
-[--efficiency] [--timeline FILE] [--windows N] [--window-align LABEL]";
+[--efficiency] [--timeline FILE] [--windows N] [--window-align LABEL] [--what-if SPEC]...";
 
 /// The operand of flag `argv[i]`, or a usage error if argv ends first.
 fn operand(argv: &[String], i: usize) -> &str {
@@ -170,6 +182,7 @@ fn parse() -> Args {
         timeline: None,
         windows: 8,
         window_align: None,
+        what_if: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -280,6 +293,15 @@ fn parse() -> Args {
             }
             "--window-align" => {
                 args.window_align = Some(operand(&argv, i).to_string());
+                i += 2;
+            }
+            "--what-if" => {
+                let raw = operand(&argv, i);
+                if let Err(e) = mpi_sections::whatif::parse(raw) {
+                    eprintln!("error: --what-if: {e}\n{USAGE}");
+                    std::process::exit(2);
+                }
+                args.what_if.push(raw.to_string());
                 i += 2;
             }
             w if !w.starts_with("--") && args.workload.is_empty() => {
@@ -538,7 +560,11 @@ fn artifact_of(stack: &Stack, report: &mpisim::RunReport<u64>) -> String {
 fn main() {
     let args = parse();
     let windowing = args.efficiency || args.timeline.is_some();
-    let observing = args.metrics || args.comm_matrix || args.metrics_json.is_some() || windowing;
+    let observing = args.metrics
+        || args.comm_matrix
+        || args.metrics_json.is_some()
+        || windowing
+        || !args.what_if.is_empty();
     let tracing = args.trace.is_some() || args.csv.is_some() || args.flamegraph.is_some();
     let stack = Stack::build(args.check, observing, tracing, args.trace.is_some());
 
@@ -715,6 +741,42 @@ fn main() {
             println!("{}", snapshot.render_matrix(32));
         }
     }
+
+    // Counterfactual replay: each --what-if spec re-times the recorded
+    // trace under its altered model, then the whole analysis stack
+    // (bounds, wait states, windowed trends) reruns on the re-timed log.
+    let machine_model = resolve_machine(
+        &args,
+        match args.workload.as_str() {
+            "lulesh" => "knl",
+            _ => "nehalem",
+        },
+    );
+    let scenarios: Vec<bench::whatif::Scenario> = args
+        .what_if
+        .iter()
+        .map(|raw| {
+            let spec = mpi_sections::whatif::parse(raw).expect("validated at parse time");
+            let log = comm_log.as_ref().expect("recorder attached");
+            bench::whatif::analyze(
+                log,
+                &machine_model,
+                args.seed,
+                &spec,
+                total,
+                args.p,
+                &windowing_mode,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: --what-if {raw}: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    if !scenarios.is_empty() {
+        println!("{}", bench::whatif::render(&scenarios));
+    }
+
     if let Some(path) = &args.metrics_json {
         let (waits, cp) = analysis.as_ref().expect("recorder attached");
         let snapshot = snapshot.as_ref().expect("registry attached");
@@ -722,10 +784,11 @@ fn main() {
         // sensitive to wildcard matching order: replaying each witness of
         // a confirmed race yields observably different metrics JSON.
         let json = format!(
-            "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"makespan_ns\":{},\"results_fingerprint\":\"{:016x}\",\"pvar\":{},\"waitstate\":{},\"critical_path\":{},\"timeline\":{},\"trends\":{}}}\n",
+            "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"config\":{{\"machine\":{}}},\"makespan_ns\":{},\"results_fingerprint\":\"{:016x}\",\"pvar\":{},\"waitstate\":{},\"critical_path\":{},\"timeline\":{},\"trends\":{},\"whatif\":{}}}\n",
             args.workload,
             args.p,
             args.seed,
+            bench::whatif::machine_config_json(&machine_model),
             report.makespan.0,
             mpiverify::fingerprint(&format!("{:?}", report.results)),
             snapshot.to_json(),
@@ -733,6 +796,7 @@ fn main() {
             cp.to_json(),
             tl.as_ref().expect("recorder").to_json(),
             speedup::trend::to_json(trends.as_ref().expect("recorder")),
+            bench::whatif::to_json(&scenarios),
         );
         std::fs::write(path, json).expect("write metrics json");
         println!("wrote metrics JSON to {path}");

@@ -5,6 +5,8 @@
 //! runners to regenerate every table and figure of the paper; the Criterion
 //! benches reuse them for the microbenchmark ablations.
 
+pub mod whatif;
+
 use convolution::{run_convolution, ConvConfig};
 use lulesh_proxy::{run_lulesh, LuleshConfig};
 use machine::MachineModel;

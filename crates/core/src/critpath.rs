@@ -205,8 +205,8 @@ pub fn extract(log: &CommLog) -> CriticalPath {
                 let (crit_rank, max_enter) = log
                     .colls
                     .get(&(comm, round))
-                    .map(|entries| {
-                        entries.iter().fold((rank, enter_ns), |best, &(r, t)| {
+                    .map(|cr| {
+                        cr.entries.iter().fold((rank, enter_ns), |best, &(r, t)| {
                             if t > best.1 || (t == best.1 && r < best.0) {
                                 (r, t)
                             } else {

@@ -62,12 +62,14 @@ pub mod metrics;
 pub mod pcontrol;
 pub mod profiler;
 pub mod pvar;
+pub mod replay;
 pub mod report;
 pub mod section;
 pub mod timeline;
 pub mod tool;
 pub mod trace;
 pub mod waitstate;
+pub mod whatif;
 
 pub use balance::BalanceReport;
 pub use compare::{ProfileComparison, SectionScaling};
@@ -79,12 +81,14 @@ pub use metrics::InstanceStats;
 pub use pcontrol::PcontrolAdapter;
 pub use profiler::{Profile, SectionKey, SectionProfiler, SectionStats};
 pub use pvar::{PvarRegistry, PvarSnapshot};
+pub use replay::replay;
 pub use report::{render, render_bounds, ReportOptions};
 pub use section::{SectionRuntime, VerifyMode, MPI_MAIN};
 pub use timeline::{Timeline, Window, WindowSection, Windowing};
 pub use tool::{EnterInfo, LeaveInfo, SectionTool};
 pub use trace::{SpanEvent, TraceTool};
-pub use waitstate::{classify, CommRecorder, WaitStateReport};
+pub use waitstate::{classify, CommLog, CommRecorder, WaitStateReport};
+pub use whatif::{WaitClass, WhatIfSpec};
 
 use mpisim::{Comm, Proc};
 

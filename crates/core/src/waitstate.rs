@@ -84,6 +84,10 @@ pub(crate) enum RecKind {
         round: u64,
         enter_ns: u64,
     },
+    /// Jittered local work started at `t_ns`: `elapsed_ns` was charged,
+    /// `base_ns` is the jitter-free duration. Lets a replay engine null
+    /// compute noise out of the local gaps without re-pricing kernels.
+    Compute { base_ns: u64, elapsed_ns: u64 },
     /// Finalize.
     Fini,
 }
@@ -94,6 +98,8 @@ pub(crate) enum RecKind {
 pub(crate) struct SendInfo {
     pub(crate) send_ns: u64,
     pub(crate) bytes: u64,
+    /// Destination world rank (selects the link a replay must re-price).
+    pub(crate) dst_world: usize,
 }
 
 #[derive(Default)]
@@ -122,8 +128,20 @@ pub(crate) struct RankRecs {
     pub(crate) fini_ns: u64,
 }
 
-/// `(comm, round)` -> every member's `(world rank, entry time ns)`.
-pub(crate) type CollTable = HashMap<(CommId, u64), Vec<(usize, u64)>>;
+/// One recorded collective round: who entered when, which operation it
+/// was, and the total bytes the cost model was charged with.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CollRound {
+    /// Every member's `(world rank, entry time ns)`.
+    pub(crate) entries: Vec<(usize, u64)>,
+    /// Rendezvous operation label (`"barrier"`, `"allreduce"`, ...).
+    pub(crate) op: &'static str,
+    /// Sum of the byte counts declared by all participants.
+    pub(crate) bytes: u64,
+}
+
+/// `(comm, round)` -> that round's record.
+pub(crate) type CollTable = HashMap<(CommId, u64), CollRound>;
 
 /// The frozen communication log of one run: everything the wait-state
 /// classifier and the critical-path walker need, with no references back
@@ -148,6 +166,11 @@ impl CommLog {
     /// Virtual end of the run: the last rank's Finalize, in nanoseconds.
     pub fn makespan_ns(&self) -> u64 {
         self.ranks.iter().map(|r| r.fini_ns).max().unwrap_or(0)
+    }
+
+    /// Total recorded events across all ranks (replay throughput unit).
+    pub fn events(&self) -> usize {
+        self.ranks.iter().map(|r| r.recs.len()).sum()
     }
 }
 
@@ -285,7 +308,11 @@ impl Tool for CommRecorder {
                 });
             }
             MpiEvent::SendEnqueued {
-                seq, time, bytes, ..
+                seq,
+                time,
+                bytes,
+                dst_world,
+                ..
             } => {
                 let t = time.as_nanos();
                 self.sends.lock().insert(
@@ -293,6 +320,7 @@ impl Tool for CommRecorder {
                     SendInfo {
                         send_ns: t,
                         bytes: *bytes,
+                        dst_world: *dst_world,
                     },
                 );
                 let main = self.main_id();
@@ -342,7 +370,7 @@ impl Tool for CommRecorder {
                     }
                 });
             }
-            MpiEvent::CollectiveEnter { comm, time, .. } => {
+            MpiEvent::CollectiveEnter { comm, op, time, .. } => {
                 let t = time.as_nanos();
                 let round = self.with_rank(world_rank, |st| {
                     let round = st.coll_rounds.entry(*comm).or_insert(0);
@@ -351,16 +379,18 @@ impl Tool for CommRecorder {
                     st.coll_pending = Some((t, r));
                     r
                 });
-                self.colls
-                    .lock()
-                    .entry((*comm, round))
-                    .or_default()
-                    .push((world_rank, t));
+                let mut colls = self.colls.lock();
+                let entry = colls.entry((*comm, round)).or_default();
+                entry.op = op;
+                entry.entries.push((world_rank, t));
             }
-            MpiEvent::CollectiveExit { comm, time, .. } => {
+            MpiEvent::CollectiveExit {
+                comm, time, bytes, ..
+            } => {
                 let main = self.main_id();
-                self.with_rank(world_rank, |st| {
-                    if let Some((enter_ns, round)) = st.coll_pending.take() {
+                let pending = self.with_rank(world_rank, |st| {
+                    let pending = st.coll_pending.take();
+                    if let Some((enter_ns, round)) = pending {
                         let sec = st.current_sec(main);
                         st.recs.push(Rec {
                             t_ns: time.as_nanos(),
@@ -372,6 +402,30 @@ impl Tool for CommRecorder {
                             },
                         });
                     }
+                    pending
+                });
+                if let Some((_, round)) = pending {
+                    if let Some(entry) = self.colls.lock().get_mut(&(*comm, round)) {
+                        entry.bytes = *bytes;
+                    }
+                }
+            }
+            MpiEvent::Compute {
+                base,
+                elapsed,
+                time,
+            } => {
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    let sec = st.current_sec(main);
+                    st.recs.push(Rec {
+                        t_ns: time.as_nanos(),
+                        sec,
+                        kind: RecKind::Compute {
+                            base_ns: base.as_nanos(),
+                            elapsed_ns: elapsed.as_nanos(),
+                        },
+                    });
                 });
             }
             _ => {}
@@ -518,8 +572,9 @@ pub fn classify(log: &CommLog) -> WaitStateReport {
                     round,
                     enter_ns,
                 } => {
-                    if let Some(entries) = log.colls.get(&(comm, round)) {
-                        let max_enter = entries.iter().map(|&(_, t)| t).max().unwrap_or(enter_ns);
+                    if let Some(cr) = log.colls.get(&(comm, round)) {
+                        let max_enter =
+                            cr.entries.iter().map(|&(_, t)| t).max().unwrap_or(enter_ns);
                         delta.coll_wait_ns = max_enter.saturating_sub(enter_ns);
                     }
                 }

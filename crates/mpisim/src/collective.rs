@@ -51,6 +51,9 @@ impl RvView<'_> {
 pub struct Done {
     /// Common exit time for every participant.
     pub exit: VTime,
+    /// Sum of the byte counts declared by all participants — what the
+    /// exit-time computation priced (surfaces on `CollectiveExit` events).
+    pub total_bytes: u64,
     /// The data slots, indexed by local rank. Readers may take or clone
     /// from them under the lock according to the operation's semantics.
     pub slots: Mutex<Vec<Slot>>,
@@ -180,6 +183,7 @@ impl Rendezvous {
             let slots = std::mem::replace(&mut st.slots, (0..self.p).map(|_| None).collect());
             let done = Arc::new(Done {
                 exit,
+                total_bytes: st.total_bytes,
                 slots: Mutex::new(slots),
                 remaining_readers: Mutex::new(self.p),
             });

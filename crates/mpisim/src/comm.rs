@@ -526,6 +526,7 @@ impl Comm {
             p.raise(MpiEvent::CollectiveExit {
                 op,
                 comm: cid,
+                bytes: done.total_bytes,
                 time: p.now,
             });
         }

@@ -213,6 +213,21 @@ pub enum MpiEvent {
     CollectiveExit {
         op: &'static str,
         comm: CommId,
+        /// Total logical payload bytes of the operation, summed over
+        /// members (what the cost model was charged with).
+        bytes: u64,
+        time: VTime,
+    },
+    /// The rank advanced its local clock by modeled compute (or any other
+    /// local work priced through the machine model). `time` is the clock
+    /// *before* the advance; `elapsed` includes performance jitter while
+    /// `base` is the jitter-free duration — a replay tool subtracts the
+    /// two to null out noise without re-pricing the kernel.
+    Compute {
+        /// Jitter-free duration of the work.
+        base: VTime,
+        /// Actually-charged duration (base scaled by the noise draw).
+        elapsed: VTime,
         time: VTime,
     },
 }
@@ -234,6 +249,7 @@ pub enum EventKind {
     RecvMatched = 9,
     CollectiveEnter = 10,
     CollectiveExit = 11,
+    Compute = 12,
 }
 
 /// A set of [`EventKind`]s a tool wants delivered (see
@@ -307,6 +323,7 @@ impl MpiEvent {
             MpiEvent::RecvMatched { .. } => EventKind::RecvMatched,
             MpiEvent::CollectiveEnter { .. } => EventKind::CollectiveEnter,
             MpiEvent::CollectiveExit { .. } => EventKind::CollectiveExit,
+            MpiEvent::Compute { .. } => EventKind::Compute,
         }
     }
 
@@ -324,7 +341,8 @@ impl MpiEvent {
             | MpiEvent::RecvBlocked { time, .. }
             | MpiEvent::RecvMatched { time, .. }
             | MpiEvent::CollectiveEnter { time, .. }
-            | MpiEvent::CollectiveExit { time, .. } => *time,
+            | MpiEvent::CollectiveExit { time, .. }
+            | MpiEvent::Compute { time, .. } => *time,
         }
     }
 }

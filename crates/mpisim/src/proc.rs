@@ -135,13 +135,31 @@ impl Proc {
     pub fn compute(&mut self, work: Work) {
         let secs = self.machine.thread_seconds_for(work, self.ranks_on_my_node);
         let factor = self.machine.noise.compute_factor(&mut self.compute_rng);
-        self.now += VTime::from_secs_f64(secs * factor);
+        self.advance_jittered(secs, secs * factor);
     }
 
     /// Like [`Proc::compute`] but without jitter (calibration paths).
     pub fn compute_noiseless(&mut self, work: Work) {
         let secs = self.machine.thread_seconds_for(work, self.ranks_on_my_node);
         self.now += VTime::from_secs_f64(secs);
+    }
+
+    /// Advance the clock by jittered local work, telling tools both the
+    /// jitter-free baseline and the actually-charged duration (an
+    /// [`MpiEvent::Compute`] event). Every noise-bearing local advance in
+    /// the runtime and the layered shared-memory runtime routes through
+    /// here so a replay tool can null compute jitter out of a trace.
+    pub fn advance_jittered(&mut self, base_secs: f64, actual_secs: f64) {
+        let base = VTime::from_secs_f64(base_secs);
+        let elapsed = VTime::from_secs_f64(actual_secs);
+        if self.wants(EventKind::Compute) {
+            self.raise(MpiEvent::Compute {
+                base,
+                elapsed,
+                time: self.now,
+            });
+        }
+        self.now += elapsed;
     }
 
     /// Price `work` under an explicit contention level without advancing

@@ -79,14 +79,18 @@ impl Team {
         } else {
             0.0
         };
-        // The slowest (jittered) thread sets the region time.
+        // The slowest (jittered) thread sets the region time; the
+        // jitter-free baseline (median factor is 1) is the slowest raw
+        // load, reported alongside so replay tools can null the noise.
         let mut body = 0.0f64;
+        let mut body_base = 0.0f64;
         for &load in loads {
             let f = p.jitter_factor();
             body = body.max(load * f);
+            body_base = body_base.max(load);
         }
         let secs = fork + body + sched + barrier;
-        p.advance_secs(secs);
+        p.advance_jittered(fork + body_base + sched + barrier, secs);
         secs
     }
 

@@ -39,6 +39,26 @@ grep -q '"timeline"' "$smoke_metrics" \
     || { echo "metrics JSON missing timeline object"; exit 1; }
 rm -f "$smoke_metrics" /tmp/tl.csv
 
+echo "==> smoke: what-if counterfactual replay"
+# The noisy p=64 convolution run flags HALO as degrading; replaying the
+# same trace with jitter removed must recover the noise-free verdict
+# ("no degrading sections") without re-running the program.
+smoke_whatif="$(mktemp /tmp/check-whatif.XXXXXX.json)"
+whatif_out="$(cargo run -q --release -p bench --bin profile -- \
+    conv --p 64 --steps 100 --machine nehalem --seed 1 --efficiency \
+    --what-if jitter=0 --what-if net=ideal,jitter=0 \
+    --metrics-json "$smoke_whatif")"
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_whatif"
+grep -q '"whatif":\[{"spec":"jitter=0"' "$smoke_whatif" \
+    || { echo "metrics JSON missing whatif scenarios"; exit 1; }
+grep -q '"config":{"machine":{' "$smoke_whatif" \
+    || { echo "metrics JSON missing machine config block"; exit 1; }
+echo "$whatif_out" | grep -q 'HALO.*DEGRADING: late-sender wait' \
+    || { echo "what-if: noisy baseline should flag HALO as degrading"; exit 1; }
+echo "$whatif_out" | grep -q 'jitter=0.*all steady' \
+    || { echo "what-if: jitter=0 replay should recover the steady verdict"; exit 1; }
+rm -f "$smoke_whatif"
+
 echo "==> smoke: dynamic verification (mpiverify)"
 # The verify_race example asserts both directions in-process (confirmed
 # race with replayable divergent witnesses; benign wildcard exhaustively

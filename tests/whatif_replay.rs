@@ -1,0 +1,192 @@
+//! Acceptance tests for the counterfactual replay engine: the identity
+//! replay must be bitwise faithful, the fully idealized replay must
+//! converge to the critical-path length, and removing jitter from the
+//! noisy convolution run must recover the noise-free trend verdict the
+//! trend detector pins in `timeline_trend.rs`.
+
+use bench::whatif::{analyze, machine_config_json, to_json};
+use mpi_sections::whatif::{parse, WhatIfSpec};
+use mpi_sections::{classify, critpath, replay, CommLog, CommRecorder, SectionRuntime, VerifyMode};
+use mpi_sections::{timeline, Windowing};
+use mpisim::WorldBuilder;
+use speedup::trend::{detect, TrendConfig};
+use std::sync::Arc;
+
+fn conv_log(machine: machine::MachineModel, p: usize, steps: usize, seed: u64) -> CommLog {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let recorder = CommRecorder::new();
+    let s = sections.clone();
+    let cfg = Arc::new(convolution::ConvConfig::paper(steps));
+    WorldBuilder::new(p)
+        .machine(machine)
+        .seed(seed)
+        .tool(sections.clone())
+        .tool(recorder.clone())
+        .run(move |p| {
+            convolution::run_convolution(p, &s, &cfg);
+        })
+        .expect("conv run failed");
+    recorder.freeze()
+}
+
+fn lulesh_log(machine: machine::MachineModel, p: usize, iters: usize, seed: u64) -> CommLog {
+    let sections = SectionRuntime::new(VerifyMode::Active);
+    let recorder = CommRecorder::new();
+    let s = sections.clone();
+    let size = lulesh_proxy::size_for(lulesh_proxy::PAPER_TOTAL_ELEMENTS, p).expect("cube p");
+    let cfg = Arc::new(lulesh_proxy::LuleshConfig::timing(size, iters, 1));
+    WorldBuilder::new(p)
+        .machine(machine)
+        .seed(seed)
+        .tool(sections.clone())
+        .tool(recorder.clone())
+        .run(move |p| {
+            lulesh_proxy::run_lulesh(p, &s, &cfg);
+        })
+        .expect("lulesh run failed");
+    recorder.freeze()
+}
+
+/// Identity replay reproduces the recorded run bitwise: same makespan,
+/// same wait-state report (JSON byte equality), same critical path.
+#[test]
+fn identity_replay_is_bitwise_faithful() {
+    let m = machine::presets::nehalem_cluster();
+    let log = conv_log(m.clone(), 8, 40, 1);
+    let re = replay(&log, &m, 1, &WhatIfSpec::identity()).expect("identity replay");
+    assert_eq!(re.makespan_ns(), log.makespan_ns());
+    assert_eq!(classify(&re).to_json(), classify(&log).to_json());
+    assert_eq!(
+        critpath::extract(&re).to_json(),
+        critpath::extract(&log).to_json()
+    );
+    let tl = timeline::build(&re, &Windowing::Fixed(8));
+    let tl0 = timeline::build(&log, &Windowing::Fixed(8));
+    assert_eq!(tl.to_json(), tl0.to_json());
+}
+
+/// Fully idealized replay (free network, zero jitter) converges to the
+/// critical-path length of the re-timed trace: with every priced
+/// component at zero, the makespan *is* the longest dependency chain.
+#[test]
+fn ideal_replay_converges_to_critical_path() {
+    let spec = parse("net=ideal,jitter=0").expect("spec");
+    let cases: Vec<(&str, CommLog, machine::MachineModel)> = vec![
+        (
+            "conv p=8",
+            conv_log(machine::presets::nehalem_cluster(), 8, 40, 1),
+            machine::presets::nehalem_cluster(),
+        ),
+        (
+            "conv p=64",
+            conv_log(machine::presets::nehalem_cluster(), 64, 40, 1),
+            machine::presets::nehalem_cluster(),
+        ),
+        (
+            "lulesh p=8",
+            lulesh_log(machine::presets::knl(), 8, 10, 1),
+            machine::presets::knl(),
+        ),
+        (
+            "lulesh p=64",
+            lulesh_log(machine::presets::knl(), 64, 10, 1),
+            machine::presets::knl(),
+        ),
+    ];
+    for (name, log, m) in cases {
+        let re = replay(&log, &m, 1, &spec).expect("ideal replay");
+        let cp = critpath::extract(&re);
+        let makespan = re.makespan_ns();
+        let diff = makespan.abs_diff(cp.length_ns);
+        assert!(
+            diff <= 2,
+            "{name}: idealized makespan {makespan} != critical path {} (diff {diff})",
+            cp.length_ns
+        );
+    }
+}
+
+/// The PR 5 pinned scenario, counterfactually: the noisy p=64 run flags
+/// HALO as degrading (late-sender); replaying the same trace with the
+/// jitter removed must recover the noise-free verdict — no degrading
+/// sections — without re-running the program.
+#[test]
+fn jitter_free_replay_recovers_noise_free_trend_verdict() {
+    let m = machine::presets::nehalem_cluster();
+    let log = conv_log(m.clone(), 64, 100, 1);
+
+    let baseline = timeline::build(&log, &Windowing::Fixed(8));
+    let trends = detect(&baseline, &TrendConfig::default());
+    let halo = trends
+        .iter()
+        .find(|t| t.label == convolution::SECTION_HALO)
+        .expect("HALO trend");
+    assert!(halo.degrading, "noisy baseline must flag HALO: {halo:?}");
+
+    let spec = parse("jitter=0").expect("spec");
+    let re = replay(&log, &m, 1, &spec).expect("jitter-free replay");
+    let tl = timeline::build(&re, &Windowing::Fixed(8));
+    let trends = detect(&tl, &TrendConfig::default());
+    assert!(
+        trends.iter().all(|t| !t.degrading),
+        "jitter-free replay still flags: {:?}",
+        trends
+            .iter()
+            .filter(|t| t.degrading)
+            .map(|t| (&t.label, t.slope))
+            .collect::<Vec<_>>()
+    );
+    // The HALO trajectory is genuinely analyzed and flat, not skipped.
+    let halo = trends
+        .iter()
+        .find(|t| t.label == convolution::SECTION_HALO)
+        .expect("HALO trend");
+    assert!(!halo.degrading, "{halo:?}");
+    // Removing noise can only help: the prediction is not slower.
+    assert!(re.makespan_ns() <= log.makespan_ns());
+}
+
+/// The what-if report is jsoncheck-valid and byte-deterministic across
+/// equal seeds, for every clause type at once.
+#[test]
+fn whatif_report_json_is_valid_and_deterministic() {
+    let m = machine::presets::nehalem_cluster();
+    let specs = [
+        "jitter=0".to_string(),
+        "net=ideal".to_string(),
+        "null=late-sender".to_string(),
+        format!("scale:{}=0.5", convolution::SECTION_HALO),
+    ];
+    let emit = || {
+        let log = conv_log(m.clone(), 8, 40, 7);
+        let scenarios: Vec<_> = specs
+            .iter()
+            .map(|raw| {
+                let spec = parse(raw).expect("spec");
+                analyze(&log, &m, 7, &spec, 10.0, 8, &Windowing::Fixed(8)).expect("scenario")
+            })
+            .collect();
+        to_json(&scenarios)
+    };
+    let a = emit();
+    let b = emit();
+    assert_eq!(a, b, "what-if JSON must be byte-deterministic");
+    mpisim::jsoncheck::check_json(&a).unwrap_or_else(|pos| panic!("invalid JSON at {pos}: {a}"));
+    assert!(!a.contains("inf") && !a.contains("NaN"), "{a}");
+}
+
+/// The machine config block is jsoncheck-valid for every preset,
+/// including the ideal machine's non-finite bandwidth.
+#[test]
+fn machine_config_block_is_valid_for_every_preset() {
+    for m in [
+        machine::presets::nehalem_cluster(),
+        machine::presets::knl(),
+        machine::presets::dual_broadwell(),
+        machine::presets::ideal(),
+    ] {
+        let json = machine_config_json(&m);
+        mpisim::jsoncheck::check_json(&json)
+            .unwrap_or_else(|pos| panic!("{}: invalid JSON at {pos}: {json}", m.name));
+    }
+}
