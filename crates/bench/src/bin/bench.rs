@@ -19,9 +19,16 @@
 //! DES engine), and the p = 64 DES-vs-threads comparison. The dynamic
 //! verifier adds `verify_schedules_per_sec`: full forced re-executions
 //! of a 4-rank wildcard world per host second under `mpiverify::explore`.
+//!
+//! The streaming summarizer contributes three numbers of its own:
+//! `summary_overhead_ns_per_event` (wall-time delta of attaching
+//! `SummaryTool`, normalized per recorded event) and the frozen
+//! `summary_state_bytes_vs_p` / `summary_json_bytes_vs_p` footprints at
+//! p = 8…4096 — the memory-boundedness the summarizer exists for, pinned
+//! as data.
 
 use mpi_sections::timeline::{build, Windowing};
-use mpi_sections::{CommRecorder, SectionProfiler, SectionRuntime, VerifyMode};
+use mpi_sections::{CommRecorder, SectionProfiler, SectionRuntime, SummaryTool, VerifyMode};
 use mpisim::WorldBuilder;
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,6 +124,77 @@ fn replay_throughput(p: usize, steps: usize, reps: usize) -> (f64, f64) {
         best = best.min(start.elapsed().as_secs_f64());
     }
     (events_per_sec, 1.0 / best)
+}
+
+/// Streaming-summarizer cost per delivered event: best-of-`reps` wall
+/// time of a convolution run with `SummaryTool` attached minus the bare
+/// run, divided by the number of events a `CommRecorder` sees on the same
+/// run. Negative deltas (measurement noise at this scale) clamp to zero.
+fn summary_overhead_ns_per_event(p: usize, steps: usize, reps: usize) -> f64 {
+    let ideal = machine::presets::ideal();
+    let events = {
+        let sections = SectionRuntime::new(VerifyMode::Off);
+        let recorder = CommRecorder::new();
+        let s = sections.clone();
+        let cfg = Arc::new(convolution::ConvConfig::paper(steps));
+        WorldBuilder::new(p)
+            .machine(ideal.clone())
+            .seed(1)
+            .tool(sections.clone())
+            .tool(recorder.clone())
+            .run(move |pr| {
+                convolution::run_convolution(pr, &s, &cfg);
+            })
+            .expect("recorded run failed");
+        recorder.freeze().events()
+    };
+    let timed = |summarize: bool| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..reps {
+            let sections = SectionRuntime::new(VerifyMode::Off);
+            let s = sections.clone();
+            let cfg = Arc::new(convolution::ConvConfig::paper(steps));
+            let mut builder = WorldBuilder::new(p)
+                .machine(ideal.clone())
+                .seed(1)
+                .tool(sections.clone());
+            if summarize {
+                builder = builder.tool(SummaryTool::new());
+            }
+            let start = Instant::now();
+            builder
+                .run(move |pr| {
+                    convolution::run_convolution(pr, &s, &cfg);
+                })
+                .expect("overhead run failed");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let bare = timed(false);
+    let summarized = timed(true);
+    ((summarized - bare).max(0.0) * 1e9) / events as f64
+}
+
+/// Frozen summarizer footprint for a convolution run at scale `p`:
+/// `(state_bytes, json_bytes)`. The step count is irrelevant by design
+/// (state is step-independent, test-asserted), so a short run suffices.
+fn summary_footprint(p: usize) -> (usize, usize) {
+    let sections = SectionRuntime::new(VerifyMode::Off);
+    let summary = SummaryTool::new();
+    let s = sections.clone();
+    let cfg = Arc::new(convolution::ConvConfig::paper(MIN_STEPS));
+    WorldBuilder::new(p)
+        .machine(machine::presets::ideal())
+        .seed(1)
+        .tool(sections.clone())
+        .tool(summary.clone())
+        .run(move |pr| {
+            convolution::run_convolution(pr, &s, &cfg);
+        })
+        .expect("footprint run failed");
+    let frozen = summary.freeze();
+    (frozen.state_bytes, frozen.to_json().len())
 }
 
 /// Verifier throughput: explored schedules (full forced re-executions of
@@ -224,6 +302,16 @@ fn main() {
 
     let (replay_eps, whatif_sps) = replay_throughput(8, conv_steps, 10);
 
+    let summary_ns_per_event = summary_overhead_ns_per_event(8, conv_steps, 10);
+    let summary_ps = [8usize, 64, 1024, 4096];
+    let footprints: Vec<(usize, usize, usize)> = summary_ps
+        .iter()
+        .map(|&p| {
+            let (state, json) = summary_footprint(p);
+            (p, state, json)
+        })
+        .collect();
+
     // Scale sweep on the DES engine. Order matters twice over: the
     // 16384-rank run fragments the heap enough to distort the section
     // micro-benchmarks, so it runs after them; and a 64-thread run leaves
@@ -273,9 +361,19 @@ fn main() {
             format!("{{\"p\": {p}, \"steps\": {steps}, \"steps_per_sec\": {sps:.2}}}")
         })
         .collect();
+    let state_json: Vec<String> = footprints
+        .iter()
+        .map(|(p, state, _)| format!("{{\"p\": {p}, \"bytes\": {state}}}"))
+        .collect();
+    let sjson_json: Vec<String> = footprints
+        .iter()
+        .map(|(p, _, json)| format!("{{\"p\": {p}, \"bytes\": {json}}}"))
+        .collect();
     let json = format!(
-        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"verify_schedules_per_sec\": {verify_sps:.2},\n  \"replay_events_per_sec\": {replay_eps:.2},\n  \"whatif_scenarios_per_sec\": {whatif_sps:.2},\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400, \"vs_p_step_budget\": {STEP_BUDGET}, \"vs_p_min_steps\": {MIN_STEPS}}}\n}}\n",
+        "{{\n  \"engine\": \"des\",\n  \"section_pair_ns_bare\": {bare_ns:.1},\n  \"section_pair_ns_profiled\": {profiled_ns:.1},\n  \"profiler_overhead_ns\": {:.1},\n  \"conv_steps_per_sec\": {conv_sps:.2},\n  \"lulesh_steps_per_sec\": {lulesh_sps:.2},\n  \"timeline_build_us\": {tl_us:.1},\n  \"verify_schedules_per_sec\": {verify_sps:.2},\n  \"replay_events_per_sec\": {replay_eps:.2},\n  \"whatif_scenarios_per_sec\": {whatif_sps:.2},\n  \"summary_overhead_ns_per_event\": {summary_ns_per_event:.1},\n  \"summary_state_bytes_vs_p\": [{}],\n  \"summary_json_bytes_vs_p\": [{}],\n  \"ranks_max\": {ranks_max},\n  \"ranks_max_wall_secs\": {ranks_max_wall:.2},\n  \"steps_per_sec_vs_p\": [{}],\n  \"conv_p64_des_steps_per_sec\": {des_p64:.2},\n  \"conv_p64_threads_steps_per_sec\": {threads_p64:.2},\n  \"engine_speedup_p64\": {:.2},\n  \"config\": {{\"machine\": \"ideal\", \"seed\": 1, \"p\": 8, \"conv_steps\": {conv_steps}, \"lulesh_iters\": {lulesh_iters}, \"pairs\": {pairs}, \"timeline_windows\": {tl_windows}, \"p64_steps\": 400, \"vs_p_step_budget\": {STEP_BUDGET}, \"vs_p_min_steps\": {MIN_STEPS}}}\n}}\n",
         (profiled_ns - bare_ns).max(0.0),
+        state_json.join(", "),
+        sjson_json.join(", "),
         sweep_json.join(", "),
         des_p64 / threads_p64
     );

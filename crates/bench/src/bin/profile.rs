@@ -80,7 +80,27 @@
 //!                  (late-receiver | wait-at-collective) nulls one
 //!                  wait-state class, `scale:HALO=0.5` scales a section's
 //!                  local work
+//!   --summary      attach the bounded-memory streaming summarizer and
+//!                  print its report: per-section wait/compute quantile
+//!                  sketches, rank equivalence clusters with a wait-state
+//!                  heatmap, top-k comm edges with the exact eviction
+//!                  count, and the Eq. 6 / `S <= T_seq/CPL` bounds — all
+//!                  from O(sections x buckets + K clusters + k edges)
+//!                  state, independent of the step count
+//!   --summary-json FILE  write the summary block as a JSON document
+//!                  (jsoncheck-valid, byte-identical across equal seeds
+//!                  and across the des/threads engines)
+//!   --trace-max-ranks N  cap Chrome-trace rank lanes and flow arrows at
+//!                  N ranks (default 512); dropped ranks are counted and
+//!                  logged instead of silently inflating the trace
 //! ```
+//!
+//! At p >= 1024 the metrics/efficiency flags automatically switch to
+//! **summary-only recording**: the full per-event `CommRecorder` (memory
+//! linear in `steps x p`) stays off and every report is served from the
+//! streaming summarizer's bounded state. `--what-if`, `--verify` and
+//! `--replay-schedule` still force full recording (the event log is their
+//! input); a log line states which mode ran.
 //!
 //! With any of the timeline flags active, `--metrics-json` gains a
 //! `timeline` object (windowed stats + per-window wait histograms) and a
@@ -93,7 +113,8 @@
 
 use mpi_sections::{
     classify, critpath, render, render_bounds, CommRecorder, PvarRegistry, ReportOptions,
-    SectionProfiler, SectionRuntime, TraceTool, VerifyMode, Windowing,
+    SectionProfiler, SectionRuntime, SummaryTool, TraceTool, VerifyMode, Windowing,
+    SUMMARY_AUTO_RANKS,
 };
 use mpisim::{Src, TagSel, WorldBuilder};
 use mpiverify::{RunOutcome, Schedule, ScheduleController};
@@ -128,13 +149,17 @@ struct Args {
     windows: usize,
     window_align: Option<String>,
     what_if: Vec<String>,
+    summary: bool,
+    summary_json: Option<String>,
+    trace_max_ranks: usize,
 }
 
 const USAGE: &str = "usage: profile <conv|lulesh|race> [--p N] [--threads N] [--steps N] [--iters N] \
 [--engine threads|des] [--machine M] [--machine-file F] [--seed N] [--trace FILE] [--csv FILE] [--profile-csv FILE] \
 [--check] [--verify] [--verify-budget N] [--verify-json FILE] [--verify-witnesses PREFIX] \
 [--replay-schedule FILE] [--metrics] [--comm-matrix] [--flamegraph FILE] [--metrics-json FILE] [--compare-seq] \
-[--efficiency] [--timeline FILE] [--windows N] [--window-align LABEL] [--what-if SPEC]...";
+[--efficiency] [--timeline FILE] [--windows N] [--window-align LABEL] [--what-if SPEC]... \
+[--summary] [--summary-json FILE] [--trace-max-ranks N]";
 
 /// The operand of flag `argv[i]`, or a usage error if argv ends first.
 fn operand(argv: &[String], i: usize) -> &str {
@@ -183,6 +208,9 @@ fn parse() -> Args {
         windows: 8,
         window_align: None,
         what_if: Vec::new(),
+        summary: false,
+        summary_json: None,
+        trace_max_ranks: 512,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -295,6 +323,18 @@ fn parse() -> Args {
                 args.window_align = Some(operand(&argv, i).to_string());
                 i += 2;
             }
+            "--summary" => {
+                args.summary = true;
+                i += 1;
+            }
+            "--summary-json" => {
+                args.summary_json = Some(operand(&argv, i).to_string());
+                i += 2;
+            }
+            "--trace-max-ranks" => {
+                args.trace_max_ranks = numeric_operand(&argv, i);
+                i += 2;
+            }
             "--what-if" => {
                 let raw = operand(&argv, i);
                 if let Err(e) = mpi_sections::whatif::parse(raw) {
@@ -391,12 +431,19 @@ struct Stack {
     trace: Arc<TraceTool>,
     pvar: Option<Arc<PvarRegistry>>,
     recorder: Option<Arc<CommRecorder>>,
+    summary: Option<Arc<SummaryTool>>,
     /// Attach the trace tool at the PMPI layer too (message-flow arrows).
     trace_pmpi: bool,
 }
 
 impl Stack {
-    fn build(check: bool, observing: bool, tracing: bool, trace_pmpi: bool) -> Stack {
+    fn build(
+        check: bool,
+        observing: bool,
+        tracing: bool,
+        trace_pmpi: bool,
+        summarizing: bool,
+    ) -> Stack {
         let sections = SectionRuntime::new(VerifyMode::Active);
         let profiler = SectionProfiler::new();
         let trace = TraceTool::new();
@@ -411,6 +458,7 @@ impl Stack {
             trace,
             pvar: observing.then(PvarRegistry::new),
             recorder: observing.then(CommRecorder::new),
+            summary: summarizing.then(SummaryTool::new),
             trace_pmpi,
         }
     }
@@ -426,6 +474,9 @@ impl Stack {
         }
         if let Some(recorder) = &self.recorder {
             tools.push(recorder.clone());
+        }
+        if let Some(summary) = &self.summary {
+            tools.push(summary.clone());
         }
         if self.trace_pmpi {
             tools.push(self.trace.clone());
@@ -560,13 +611,37 @@ fn artifact_of(stack: &Stack, report: &mpisim::RunReport<u64>) -> String {
 fn main() {
     let args = parse();
     let windowing = args.efficiency || args.timeline.is_some();
-    let observing = args.metrics
+    let wants_full = args.metrics
         || args.comm_matrix
         || args.metrics_json.is_some()
         || windowing
         || !args.what_if.is_empty();
+    // The event log is the replay/verification input: those flags pin
+    // full recording at any p. Everything else is served from the
+    // bounded summarizer once p reaches the auto-switch threshold.
+    let needs_log = !args.what_if.is_empty() || args.verify || args.replay_schedule.is_some();
+    let summary_only = args.p >= SUMMARY_AUTO_RANKS && !needs_log;
+    let observing = wants_full && !summary_only;
+    let summarizing = args.summary || args.summary_json.is_some() || (wants_full && summary_only);
+    if wants_full && summary_only {
+        println!(
+            "p >= {SUMMARY_AUTO_RANKS}: summary-only recording (bounded streaming sketches; \
+             full comm recorder off — pass --what-if or --verify to force full recording)\n"
+        );
+    } else if args.p >= SUMMARY_AUTO_RANKS && needs_log {
+        println!(
+            "p >= {SUMMARY_AUTO_RANKS} but full comm recording kept: \
+             --what-if/--verify/--replay-schedule require the event log\n"
+        );
+    }
     let tracing = args.trace.is_some() || args.csv.is_some() || args.flamegraph.is_some();
-    let stack = Stack::build(args.check, observing, tracing, args.trace.is_some());
+    let stack = Stack::build(
+        args.check,
+        observing,
+        tracing,
+        args.trace.is_some(),
+        summarizing,
+    );
 
     // A replayed schedule steers the main run's wildcard matchings; the
     // controller doubles as the witness-fidelity check (divergence means
@@ -633,7 +708,7 @@ fn main() {
     // heuristic race warning to a verdict.
     let verify_report = args.verify.then(|| {
         mpiverify::explore(args.verify_budget, |ctl| {
-            let vstack = Stack::build(args.check, true, false, false);
+            let vstack = Stack::build(args.check, true, false, false, false);
             match run_once(&args, &vstack, Some(ctl.clone())) {
                 Ok(rep) => RunOutcome {
                     artifact: artifact_of(&vstack, &rep),
@@ -694,19 +769,25 @@ fn main() {
     // bounds what any p can achieve through the dependency graph.
     let snapshot = stack.pvar.as_ref().map(|pv| pv.snapshot());
     let comm_log = stack.recorder.as_ref().map(|r| r.freeze());
+    let run_summary = stack.summary.as_ref().map(|s| s.freeze());
     let analysis = comm_log
         .as_ref()
         .map(|log| (classify(log), critpath::extract(log)));
 
     // The windowed view: time-resolved POP efficiencies per section, the
     // trend diagnosis on top of them, and the CSV/JSON/counter exports.
+    // In summary-only mode the timeline comes from the summarizer's
+    // checkpoint rows (cadence-determined windows; --windows and
+    // --window-align apply only to full recording).
     let windowing_mode = match &args.window_align {
         Some(label) => Windowing::Aligned(label.clone()),
         None => Windowing::Fixed(args.windows),
     };
-    let tl = comm_log
-        .as_ref()
-        .map(|log| mpi_sections::timeline::build(log, &windowing_mode));
+    let tl = match (&comm_log, &run_summary) {
+        (Some(log), _) => Some(mpi_sections::timeline::build(log, &windowing_mode)),
+        (None, Some(rs)) if wants_full || windowing => Some(rs.to_timeline().clone()),
+        _ => None,
+    };
     let trends = tl
         .as_ref()
         .map(|tl| speedup::trend::detect(tl, &speedup::trend::TrendConfig::default()));
@@ -739,6 +820,11 @@ fn main() {
     if args.comm_matrix {
         if let Some(snapshot) = &snapshot {
             println!("{}", snapshot.render_matrix(32));
+        }
+    }
+    if let Some(rs) = &run_summary {
+        if args.summary || (summary_only && (args.metrics || args.comm_matrix)) {
+            println!("{}", rs.render(total));
         }
     }
 
@@ -778,28 +864,62 @@ fn main() {
     }
 
     if let Some(path) = &args.metrics_json {
-        let (waits, cp) = analysis.as_ref().expect("recorder attached");
-        let snapshot = snapshot.as_ref().expect("registry attached");
-        // Exact makespan and a result fingerprint make the document
-        // sensitive to wildcard matching order: replaying each witness of
-        // a confirmed race yields observably different metrics JSON.
+        let json = if let (Some((waits, cp)), Some(snapshot)) = (&analysis, &snapshot) {
+            // Exact makespan and a result fingerprint make the document
+            // sensitive to wildcard matching order: replaying each witness
+            // of a confirmed race yields observably different metrics JSON.
+            format!(
+                "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"config\":{{\"machine\":{}}},\"makespan_ns\":{},\"results_fingerprint\":\"{:016x}\",\"pvar\":{},\"waitstate\":{},\"critical_path\":{},\"timeline\":{},\"trends\":{},\"whatif\":{}}}\n",
+                args.workload,
+                args.p,
+                args.seed,
+                bench::whatif::machine_config_json(&machine_model),
+                report.makespan.0,
+                mpiverify::fingerprint(&format!("{:?}", report.results)),
+                snapshot.to_json(),
+                waits.to_json(),
+                cp.to_json(),
+                tl.as_ref().expect("recorder").to_json(),
+                speedup::trend::to_json(trends.as_ref().expect("recorder")),
+                bench::whatif::to_json(&scenarios),
+            )
+        } else {
+            // Summary-only mode: the per-event analyses are intentionally
+            // absent; the summary block plus the checkpoint-derived
+            // timeline and trends replace them.
+            let rs = run_summary.as_ref().expect("summarizer attached");
+            format!(
+                "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"config\":{{\"machine\":{}}},\"makespan_ns\":{},\"results_fingerprint\":\"{:016x}\",\"summary\":{},\"timeline\":{},\"trends\":{}}}\n",
+                args.workload,
+                args.p,
+                args.seed,
+                bench::whatif::machine_config_json(&machine_model),
+                report.makespan.0,
+                mpiverify::fingerprint(&format!("{:?}", report.results)),
+                rs.to_json(),
+                tl.as_ref().expect("summarizer").to_json(),
+                speedup::trend::to_json(trends.as_ref().expect("summarizer")),
+            )
+        };
+        std::fs::write(path, json).expect("write metrics json");
+        println!("wrote metrics JSON to {path}");
+    }
+
+    if let Some(path) = &args.summary_json {
+        let rs = run_summary.as_ref().expect("summarizer attached");
         let json = format!(
-            "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"config\":{{\"machine\":{}}},\"makespan_ns\":{},\"results_fingerprint\":\"{:016x}\",\"pvar\":{},\"waitstate\":{},\"critical_path\":{},\"timeline\":{},\"trends\":{},\"whatif\":{}}}\n",
+            "{{\"workload\":\"{}\",\"p\":{},\"seed\":{},\"config\":{{\"machine\":{}}},\"summary\":{}}}\n",
             args.workload,
             args.p,
             args.seed,
             bench::whatif::machine_config_json(&machine_model),
-            report.makespan.0,
-            mpiverify::fingerprint(&format!("{:?}", report.results)),
-            snapshot.to_json(),
-            waits.to_json(),
-            cp.to_json(),
-            tl.as_ref().expect("recorder").to_json(),
-            speedup::trend::to_json(trends.as_ref().expect("recorder")),
-            bench::whatif::to_json(&scenarios),
+            rs.to_json(),
         );
-        std::fs::write(path, json).expect("write metrics json");
-        println!("wrote metrics JSON to {path}");
+        std::fs::write(path, json).expect("write summary json");
+        println!(
+            "wrote summary JSON to {path} (summarizer state {} bytes)",
+            rs.state_bytes
+        );
     }
 
     if args.compare_seq && args.p > 1 {
@@ -876,8 +996,17 @@ fn main() {
     }
 
     if let Some(path) = &args.trace {
-        std::fs::write(path, stack.trace.to_chrome_trace_with(tl.as_ref())).expect("write trace");
+        let (json, dropped_ranks) = stack
+            .trace
+            .to_chrome_trace_capped(args.trace_max_ranks, tl.as_ref());
+        std::fs::write(path, json).expect("write trace");
         println!("wrote Chrome trace ({} spans) to {path}", stack.trace.len());
+        if dropped_ranks > 0 {
+            println!(
+                "trace capped at {} rank lanes: {} rank(s) dropped (raise with --trace-max-ranks)",
+                args.trace_max_ranks, dropped_ranks
+            );
+        }
     }
     if let Some(path) = &args.csv {
         std::fs::write(path, stack.trace.to_csv()).expect("write csv");

@@ -12,7 +12,7 @@
 
 use mpi_sections::{
     classify, critpath, timeline, CommRecorder, PvarRegistry, SectionProfiler, SectionRuntime,
-    TraceTool, VerifyMode, Windowing,
+    SummaryTool, TraceTool, VerifyMode, Windowing,
 };
 use mpisim::{Engine, Src, TagSel, WorldBuilder};
 use mpiverify::ScheduleController;
@@ -24,6 +24,7 @@ struct Artifacts {
     profile_csv: String,
     trace_json: String,
     metrics_json: String,
+    summary_json: String,
     diagnostics: String,
 }
 
@@ -55,6 +56,7 @@ fn observe_controlled(
     let trace = TraceTool::new();
     let pvar = PvarRegistry::new();
     let recorder = CommRecorder::new();
+    let summary = SummaryTool::new();
     let checker = mpicheck::Analyzer::new();
     sections.attach(profiler.clone());
     sections.attach(trace.clone());
@@ -67,6 +69,7 @@ fn observe_controlled(
         .tool(trace.clone())
         .tool(pvar.clone())
         .tool(recorder.clone())
+        .tool(summary.clone())
         .tool(checker.clone());
     if let Some(ctl) = controller {
         builder = builder.match_controller(ctl as Arc<dyn mpisim::MatchController>);
@@ -87,6 +90,7 @@ fn observe_controlled(
             cp.to_json(),
             tl.to_json()
         ),
+        summary_json: summary.freeze().to_json(),
         diagnostics: mpisim::diag::report(&checker.diagnostics()),
     }
 }
@@ -105,6 +109,10 @@ fn assert_identical(threads: &Artifacts, des: &Artifacts) {
     assert_eq!(
         threads.metrics_json, des.metrics_json,
         "metrics JSON differs between engines"
+    );
+    assert_eq!(
+        threads.summary_json, des.summary_json,
+        "streaming summary JSON differs between engines"
     );
     assert_eq!(
         threads.diagnostics, des.diagnostics,
@@ -131,6 +139,10 @@ fn convolution_is_byte_identical_across_engines() {
     assert_identical(&threads, &des);
     // Guard against vacuous equality: the run must have produced data.
     assert!(threads.profile_csv.contains("HALO"));
+    assert!(threads
+        .summary_json
+        .contains("\"schema\":\"mpisim-summary-v1\""));
+    assert!(threads.summary_json.contains("\"clusters\""));
     assert!(threads.diagnostics.is_empty() || threads.diagnostics.contains("diagnostic"));
 }
 

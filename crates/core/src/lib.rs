@@ -65,6 +65,8 @@ pub mod pvar;
 pub mod replay;
 pub mod report;
 pub mod section;
+pub mod sketch;
+pub mod summary;
 pub mod timeline;
 pub mod tool;
 pub mod trace;
@@ -84,6 +86,8 @@ pub use pvar::{PvarRegistry, PvarSnapshot};
 pub use replay::replay;
 pub use report::{render, render_bounds, ReportOptions};
 pub use section::{SectionRuntime, VerifyMode, MPI_MAIN};
+pub use sketch::{QuantileSketch, SpaceSaving};
+pub use summary::{RunSummary, SummaryTool, SUMMARY_AUTO_RANKS};
 pub use timeline::{Timeline, Window, WindowSection, Windowing};
 pub use tool::{EnterInfo, LeaveInfo, SectionTool};
 pub use trace::{SpanEvent, TraceTool};

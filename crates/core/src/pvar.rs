@@ -100,6 +100,12 @@ impl Counters {
     }
 }
 
+/// Most communication-matrix cells emitted by [`PvarSnapshot::to_json`]:
+/// enough for every dense matrix up to p = 64 to serialize whole, while a
+/// 16k-rank halo exchange (~65k cells) keeps only its heaviest traffic
+/// with an explicit dropped-cell count.
+pub const MATRIX_JSON_CAP: usize = 4096;
+
 /// One cell of the communication matrix.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MatrixCell {
@@ -423,7 +429,17 @@ impl PvarSnapshot {
     }
 
     /// Machine-readable JSON dump (deterministic field and key order).
+    /// The communication matrix is capped at [`MATRIX_JSON_CAP`] cells —
+    /// beyond that only the heaviest-by-bytes cells are emitted, with
+    /// `"matrix_truncated":true` and an exact `"dropped_cells"` count
+    /// (dense matrices at large p would otherwise dominate the document
+    /// quadratically).
     pub fn to_json(&self) -> String {
+        self.to_json_capped(MATRIX_JSON_CAP)
+    }
+
+    /// [`PvarSnapshot::to_json`] with an explicit matrix cell cap.
+    pub fn to_json_capped(&self, matrix_cap: usize) -> String {
         let mut out = String::from("{");
         let _ = write!(out, "\"nranks\":{}", self.nranks);
         out.push_str(",\"per_rank\":[");
@@ -433,8 +449,20 @@ impl PvarSnapshot {
             }
             out.push_str(&c.to_json());
         }
+        let cells: Vec<(&(usize, usize), &MatrixCell)> = if self.matrix.len() <= matrix_cap {
+            self.matrix.iter().collect()
+        } else {
+            // Heaviest cells first, then back to key order for output so
+            // the truncated document stays deterministic and diffable.
+            let mut by_weight: Vec<(&(usize, usize), &MatrixCell)> = self.matrix.iter().collect();
+            by_weight.sort_by_key(|(key, cell)| (std::cmp::Reverse(cell.bytes), **key));
+            by_weight.truncate(matrix_cap);
+            by_weight.sort_by_key(|(key, _)| **key);
+            by_weight
+        };
+        let dropped_cells = self.matrix.len() - cells.len();
         out.push_str("],\"matrix\":[");
-        for (i, ((src, dst), cell)) in self.matrix.iter().enumerate() {
+        for (i, ((src, dst), cell)) in cells.into_iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -444,7 +472,13 @@ impl PvarSnapshot {
                 cell.msgs, cell.bytes
             );
         }
-        out.push_str("],\"sections\":[");
+        let _ = write!(
+            out,
+            "],\"matrix_cells\":{},\"matrix_truncated\":{},\"dropped_cells\":{dropped_cells}",
+            self.matrix.len(),
+            dropped_cells > 0
+        );
+        out.push_str(",\"sections\":[");
         for (i, (key, c)) in self.per_section.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -644,5 +678,46 @@ mod tests {
         let a = ring_run(4).to_json();
         let b = ring_run(4).to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matrix_json_caps_at_heaviest_cells() {
+        let mut matrix: BTreeMap<(usize, usize), MatrixCell> = BTreeMap::new();
+        for src in 0..4 {
+            for dst in 0..4 {
+                if src != dst {
+                    matrix.insert(
+                        (src, dst),
+                        MatrixCell {
+                            msgs: 1,
+                            bytes: (src * 10 + dst) as u64,
+                        },
+                    );
+                }
+            }
+        }
+        let snap = PvarSnapshot {
+            nranks: 4,
+            per_rank: vec![Counters::default(); 4],
+            matrix,
+            per_section: BTreeMap::new(),
+        };
+        let full = snap.to_json();
+        assert!(full.contains("\"matrix_truncated\":false"), "{full}");
+        assert!(full.contains("\"dropped_cells\":0"), "{full}");
+        assert_eq!(full.matches("\"src\":").count(), 12);
+
+        let capped = snap.to_json_capped(3);
+        assert!(capped.contains("\"matrix_truncated\":true"), "{capped}");
+        assert!(capped.contains("\"dropped_cells\":9"), "{capped}");
+        assert!(capped.contains("\"matrix_cells\":12"), "{capped}");
+        // The three heaviest cells survive, emitted in key order.
+        assert_eq!(capped.matches("\"src\":").count(), 3);
+        let i30 = capped.find("\"src\":3,\"dst\":0").expect("cell (3,0)");
+        let i31 = capped.find("\"src\":3,\"dst\":1").expect("cell (3,1)");
+        let i32 = capped.find("\"src\":3,\"dst\":2").expect("cell (3,2)");
+        assert!(i30 < i31 && i31 < i32, "{capped}");
+        assert_eq!(capped.matches('{').count(), capped.matches('}').count());
+        mpisim::jsoncheck::assert_json(&capped, "capped pvar json");
     }
 }

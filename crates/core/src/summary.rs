@@ -1,0 +1,1394 @@
+//! Bounded-memory streaming run summarization — observability that
+//! survives 16k ranks.
+//!
+//! [`CommRecorder`](crate::CommRecorder) keeps every event of every rank:
+//! perfect for what-if replay and schedule verification, but its memory
+//! grows with `steps × p` and the exporters built on it grow faster. At
+//! the scales where the paper's expressiveness argument matters most
+//! (p ≥ 1024 on the DES engine) that is exactly backwards. Following the
+//! summarized-trace direction of Haldar (arXiv:2512.01764) and Scalasca's
+//! runtime summarization, [`SummaryTool`] maintains **online state whose
+//! size is independent of the event count and nearly independent of p**:
+//!
+//! * per-section wait-time and compute-time [`QuantileSketch`]es
+//!   (p50/p90/p99 within a documented relative error, exact totals),
+//! * exact per-section [`WaitBreakdown`] totals — the same numbers
+//!   [`classify`](crate::classify) derives offline, computed online,
+//! * **rank equivalence clustering**: each rank's quantized per-section
+//!   wait-class profile is FNV-fingerprinted; ranks with equal
+//!   fingerprints collapse into one cluster with an exemplar world rank
+//!   and a member count (≤ [`CLUSTER_BUDGET`] clusters reported),
+//! * a [`SpaceSaving`] top-k sketch over `(src, dst)` comm edges with an
+//!   explicit `dropped_edges` eviction count — never silent truncation,
+//! * periodic virtual-time **checkpoint rows** (adaptive cadence, at most
+//!   [`CHECKPOINT_ROW_BUDGET`]`× 2` rows) that reconstruct a
+//!   [`Timeline`] for the PR 5 trend detector without an event log,
+//! * a streaming lower bound on the critical-path length: each rank's
+//!   program order is a dependency chain, so
+//!   `CPL >= max_r(fini_r - idle_r)` — giving a valid (weaker)
+//!   `S <= T_seq/CPL` upper bound with O(1) state per rank.
+//!
+//! Everything folded globally is either additive or a running maximum, so
+//! the frozen summary is byte-deterministic across equal seeds *and*
+//! across the DES/threads engines, exactly like the full recorder's
+//! artifacts (`crates/bench/tests/engine_equivalence.rs` pins this).
+
+use crate::fasthash::{fnv1a, FastMap};
+use crate::sketch::{HeavyHitter, QuantileSketch, SpaceSaving, QUANTILE_REL_ERR};
+use crate::timeline::{Timeline, Window, WindowSection};
+use crate::waitstate::{Interner, WaitBreakdown};
+use mpisim::diag::json_str;
+use mpisim::{CommId, MpiEvent, Tool};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const SHARDS: usize = 64;
+
+/// World size at and above which `profile` switches to summary-only
+/// recording (full event log off unless a flag needs it).
+pub const SUMMARY_AUTO_RANKS: usize = 1024;
+
+/// Maximum rank-equivalence clusters reported (K).
+pub const CLUSTER_BUDGET: usize = 16;
+
+/// Global top-k comm edges retained (k).
+pub const EDGE_BUDGET: usize = 64;
+
+/// Per-rank heavy-hitter slots over destination ranks.
+const EDGES_PER_RANK: usize = 8;
+
+/// Target checkpoint row count; the cadence doubles (merging row pairs)
+/// whenever the run would need more than twice this many rows.
+pub const CHECKPOINT_ROW_BUDGET: usize = 64;
+
+/// Initial checkpoint cadence: 1 ms of virtual time per row.
+const CHECKPOINT_BASE_CADENCE_NS: u64 = 1_000_000;
+
+/// Wait classes, in fingerprint/profile key order.
+const CLASS_NAMES: [&str; 3] = ["late-sender", "late-receiver", "coll-wait"];
+const CLASS_LS: u32 = 0;
+const CLASS_LR: u32 = 1;
+const CLASS_CW: u32 = 2;
+
+/// One checkpoint cell: the additive slice of a
+/// [`WindowSection`] the summarizer can maintain online.
+#[derive(Debug, Default, Clone, Copy)]
+struct CheckCell {
+    time_ns: u64,
+    late_sender_ns: u64,
+    coll_wait_ns: u64,
+    transfer_ns: u64,
+    sent_msgs: u64,
+    sent_bytes: u64,
+    recv_msgs: u64,
+    recv_bytes: u64,
+    coll_exits: u64,
+}
+
+impl CheckCell {
+    fn add(&mut self, o: &CheckCell) {
+        self.time_ns += o.time_ns;
+        self.late_sender_ns += o.late_sender_ns;
+        self.coll_wait_ns += o.coll_wait_ns;
+        self.transfer_ns += o.transfer_ns;
+        self.sent_msgs += o.sent_msgs;
+        self.sent_bytes += o.sent_bytes;
+        self.recv_msgs += o.recv_msgs;
+        self.recv_bytes += o.recv_bytes;
+        self.coll_exits += o.coll_exits;
+    }
+}
+
+/// Fixed-budget virtual-time rows. The cadence starts at 1 ms and doubles
+/// (merging adjacent row pairs) whenever an event lands beyond row
+/// `2 × CHECKPOINT_ROW_BUDGET`; since every cell field is additive, the
+/// final rows depend only on the final cadence — itself a function of the
+/// largest timestamp seen — never on event interleaving.
+#[derive(Debug, Clone)]
+struct Checkpoints {
+    cadence_ns: u64,
+    rows: Vec<FastMap<u32, CheckCell>>,
+}
+
+impl Default for Checkpoints {
+    fn default() -> Self {
+        Checkpoints {
+            cadence_ns: CHECKPOINT_BASE_CADENCE_NS,
+            rows: Vec::new(),
+        }
+    }
+}
+
+impl Checkpoints {
+    /// Grow the cadence until time `t` maps below the hard row cap.
+    fn fit(&mut self, t: u64) {
+        while t / self.cadence_ns >= (2 * CHECKPOINT_ROW_BUDGET) as u64 {
+            self.cadence_ns *= 2;
+            let mut merged: Vec<FastMap<u32, CheckCell>> =
+                Vec::with_capacity(self.rows.len().div_ceil(2));
+            for pair in self.rows.chunks(2) {
+                let mut row = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    for (&sec, cell) in b.iter() {
+                        row.entry(sec).or_default().add(cell);
+                    }
+                }
+                merged.push(row);
+            }
+            self.rows = merged;
+        }
+    }
+
+    fn cell(&mut self, t: u64, sec: u32) -> &mut CheckCell {
+        self.fit(t);
+        let idx = (t / self.cadence_ns) as usize;
+        if self.rows.len() <= idx {
+            self.rows.resize_with(idx + 1, FastMap::default);
+        }
+        self.rows[idx].entry(sec).or_default()
+    }
+
+    /// Split `[a, b)` across rows, like the timeline's interval splitter.
+    fn span(&mut self, a: u64, b: u64, sec: u32, mut f: impl FnMut(&mut CheckCell, u64)) {
+        if b <= a {
+            return;
+        }
+        self.fit(b - 1);
+        let c = self.cadence_ns;
+        let mut w = a / c;
+        let last = (b - 1) / c;
+        loop {
+            let lo = a.max(w * c);
+            let hi = b.min((w + 1) * c);
+            if hi > lo {
+                f(self.cell(lo, sec), hi - lo);
+            }
+            if w == last {
+                break;
+            }
+            w += 1;
+        }
+    }
+}
+
+/// Per-section streaming aggregates.
+#[derive(Debug, Default, Clone)]
+struct SectionAgg {
+    /// Individual idle-wait durations (late-sender + collective waits).
+    wait_sketch: QuantileSketch,
+    /// Individual `Compute` event durations.
+    compute_sketch: QuantileSketch,
+    /// Exact wait-class totals — bit-identical to the offline classifier.
+    waits: WaitBreakdown,
+}
+
+/// A receive that matched but whose enclosing call has not returned yet.
+#[derive(Debug, Clone, Copy)]
+struct PendingRecv {
+    sec: u32,
+    post_ns: u64,
+    send_ns: u64,
+    match_ns: u64,
+    bytes: u64,
+}
+
+/// Per-rank residue: everything that must stay rank-local, all O(1) or
+/// O(sections) per rank.
+struct RankResidue {
+    stack: Vec<(CommId, u32)>,
+    last_t: u64,
+    recv_posted_ns: Option<u64>,
+    pending_recv: Option<PendingRecv>,
+    coll_pending: Option<(u64, u64)>, // (enter_ns, round)
+    coll_rounds: FastMap<CommId, u64>,
+    /// Nonzero wait totals keyed by `sec * 4 + class` — the clustering
+    /// fingerprint input.
+    profile: Vec<(u32, u64)>,
+    /// Heavy-hitter destinations of this rank's sends.
+    edges: SpaceSaving,
+    /// Total idle time (late-sender + collective waits) on this rank.
+    wait_total_ns: u64,
+    fini_ns: u64,
+}
+
+impl Default for RankResidue {
+    fn default() -> Self {
+        RankResidue {
+            stack: Vec::new(),
+            last_t: 0,
+            recv_posted_ns: None,
+            pending_recv: None,
+            coll_pending: None,
+            coll_rounds: FastMap::default(),
+            profile: Vec::new(),
+            edges: SpaceSaving::new(EDGES_PER_RANK),
+            wait_total_ns: 0,
+            fini_ns: 0,
+        }
+    }
+}
+
+impl RankResidue {
+    fn current_sec(&self, main_id: u32) -> u32 {
+        self.stack.last().map(|&(_, id)| id).unwrap_or(main_id)
+    }
+
+    /// Close the presence interval `[last_t, t)` against the section that
+    /// was current, returning `(sec, from, to)` for the checkpoint fold.
+    fn tick(&mut self, t: u64, main_id: u32) -> (u32, u64, u64) {
+        let sec = self.current_sec(main_id);
+        let from = self.last_t;
+        self.last_t = t;
+        (sec, from, t)
+    }
+
+    fn bump_profile(&mut self, key: u32, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        if let Some(e) = self.profile.iter_mut().find(|e| e.0 == key) {
+            e.1 += ns;
+        } else {
+            self.profile.push((key, ns));
+        }
+    }
+}
+
+/// One collective round awaiting all member exits.
+#[derive(Debug, Default, Clone)]
+struct CollAgg {
+    max_enter_ns: u64,
+    size: usize,
+    pend: Vec<PendColl>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendColl {
+    rank: usize,
+    sec: u32,
+    enter_ns: u64,
+    exit_ns: u64,
+}
+
+/// The streaming summarization tool. Attach like any PMPI tool, run, then
+/// [`SummaryTool::freeze`] into a [`RunSummary`].
+#[derive(Default)]
+pub struct SummaryTool {
+    shards: Vec<Mutex<FastMap<usize, RankResidue>>>,
+    interner: Mutex<Interner>,
+    sections: Mutex<Vec<SectionAgg>>,
+    sends: Mutex<FastMap<u64, u64>>, // seq -> send_ns (removed on match)
+    colls: Mutex<FastMap<(CommId, u64), CollAgg>>,
+    checkpoints: Mutex<Checkpoints>,
+    nranks: Mutex<usize>,
+    main_id: Mutex<Option<u32>>,
+}
+
+impl SummaryTool {
+    /// A fresh summarizer behind an `Arc`, ready to attach.
+    pub fn new() -> Arc<SummaryTool> {
+        Arc::new(SummaryTool {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FastMap::default()))
+                .collect(),
+            ..SummaryTool::default()
+        })
+    }
+
+    fn main_id(&self) -> u32 {
+        let mut slot = self.main_id.lock();
+        *slot.get_or_insert_with(|| {
+            self.interner
+                .lock()
+                .intern(&Arc::from(crate::section::MPI_MAIN))
+        })
+    }
+
+    fn with_rank<R>(&self, rank: usize, f: impl FnOnce(&mut RankResidue) -> R) -> R {
+        let mut shard = self.shards[rank % SHARDS].lock();
+        f(shard.entry(rank).or_default())
+    }
+
+    fn with_section<R>(&self, sec: u32, f: impl FnOnce(&mut SectionAgg) -> R) -> R {
+        let mut sections = self.sections.lock();
+        let i = sec as usize;
+        if sections.len() <= i {
+            sections.resize_with(i + 1, SectionAgg::default);
+        }
+        f(&mut sections[i])
+    }
+
+    /// Fold a closed presence interval into the checkpoint rows.
+    fn presence(&self, sec: u32, from: u64, to: u64) {
+        if to > from {
+            self.checkpoints
+                .lock()
+                .span(from, to, sec, |cell, ns| cell.time_ns += ns);
+        }
+    }
+
+    /// Settle one member of a completed collective round. Touches the
+    /// rank shard, the section table and the checkpoints strictly one at
+    /// a time (never nested), so it is safe from any event thread.
+    fn settle_coll(&self, max_enter: u64, p: &PendColl) {
+        let wait = max_enter.saturating_sub(p.enter_ns);
+        if wait > 0 {
+            self.with_rank(p.rank, |st| {
+                st.bump_profile(p.sec * 4 + CLASS_CW, wait);
+                st.wait_total_ns += wait;
+            });
+            self.with_section(p.sec, |agg| {
+                agg.waits.coll_wait_ns += wait;
+                agg.wait_sketch.record(wait);
+            });
+        }
+        let mut ck = self.checkpoints.lock();
+        ck.span(p.enter_ns, max_enter.min(p.exit_ns), p.sec, |cell, ns| {
+            cell.coll_wait_ns += ns;
+        });
+        ck.span(max_enter.max(p.enter_ns), p.exit_ns, p.sec, |cell, ns| {
+            cell.transfer_ns += ns;
+        });
+    }
+
+    /// Freeze the streaming state into an immutable [`RunSummary`].
+    ///
+    /// Collective rounds still awaiting exits (only possible on aborted
+    /// runs) are settled with the arrivals seen so far, mirroring what
+    /// the offline classifier reports for such logs.
+    pub fn freeze(&self) -> RunSummary {
+        let leftovers: Vec<CollAgg> = {
+            let mut colls = self.colls.lock();
+            colls.drain().map(|(_, agg)| agg).collect()
+        };
+        for agg in &leftovers {
+            for p in &agg.pend {
+                self.settle_coll(agg.max_enter_ns, p);
+            }
+        }
+
+        let nranks = *self.nranks.lock();
+        let names: Vec<String> = self.interner.lock().names.clone();
+        let sections_raw: Vec<SectionAgg> = self.sections.lock().clone();
+        let checkpoints: Checkpoints = self.checkpoints.lock().clone();
+
+        // Gather the per-rank residues in world-rank order.
+        struct RankOut {
+            profile: Vec<(u32, u64)>,
+            edges: SpaceSaving,
+            wait_total_ns: u64,
+            fini_ns: u64,
+            residue_bytes: usize,
+        }
+        let mut ranks: Vec<Option<RankOut>> = (0..nranks).map(|_| None).collect();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&rank, st) in shard.iter() {
+                if rank < nranks {
+                    let residue_bytes = std::mem::size_of::<RankResidue>()
+                        + st.profile.len() * std::mem::size_of::<(u32, u64)>()
+                        + st.edges.state_bytes()
+                        + st.coll_rounds.len() * std::mem::size_of::<(CommId, u64)>();
+                    let mut profile = st.profile.clone();
+                    profile.sort_unstable();
+                    ranks[rank] = Some(RankOut {
+                        profile,
+                        edges: st.edges.clone(),
+                        wait_total_ns: st.wait_total_ns,
+                        fini_ns: st.fini_ns,
+                        residue_bytes,
+                    });
+                }
+            }
+        }
+
+        let makespan_ns = ranks.iter().flatten().map(|r| r.fini_ns).max().unwrap_or(0);
+        let cpl_lower_bound_ns = ranks
+            .iter()
+            .flatten()
+            .map(|r| r.fini_ns.saturating_sub(r.wait_total_ns))
+            .max()
+            .unwrap_or(0);
+
+        // Sections, sorted by label (interner ids are scheduling-order
+        // dependent; names are not).
+        let mut order: Vec<usize> = (0..names.len()).collect();
+        order.sort_by(|&a, &b| names[a].cmp(&names[b]));
+        let sections: Vec<SectionSummary> = order
+            .iter()
+            .map(|&i| {
+                let agg = sections_raw.get(i).cloned().unwrap_or_default();
+                SectionSummary {
+                    label: names[i].clone(),
+                    waits: agg.waits,
+                    wait_sketch: agg.wait_sketch,
+                    compute_sketch: agg.compute_sketch,
+                }
+            })
+            .collect();
+
+        // Rank equivalence clusters: fingerprint each rank's quantized
+        // per-section wait-class profile over label *names*.
+        let mut acc: BTreeMap<u64, RankCluster> = BTreeMap::new();
+        for (rank, out) in ranks.iter().enumerate() {
+            let profile: Vec<(u32, u64)> =
+                out.as_ref().map(|o| o.profile.clone()).unwrap_or_default();
+            let mut cells: Vec<ProfileCell> = profile
+                .iter()
+                .map(|&(key, ns)| ProfileCell {
+                    label: names
+                        .get((key / 4) as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("#{}", key / 4)),
+                    class: CLASS_NAMES[(key % 4) as usize],
+                    bucket: quantize_ns(ns),
+                    exemplar_ns: ns,
+                })
+                .collect();
+            cells.sort_by(|a, b| (&a.label, a.class).cmp(&(&b.label, b.class)));
+            let mut canon = String::new();
+            for c in &cells {
+                let _ = writeln!(canon, "{}\u{1}{}\u{1}{}", c.label, c.class, c.bucket);
+            }
+            let fp = fnv1a(canon.as_bytes());
+            let entry = acc.entry(fp).or_insert_with(|| RankCluster {
+                fingerprint: fp,
+                members: 0,
+                exemplar: rank,
+                profile: cells,
+            });
+            entry.members += 1;
+        }
+        let mut clusters: Vec<RankCluster> = acc.into_values().collect();
+        clusters.sort_by_key(|c| (std::cmp::Reverse(c.members), c.exemplar));
+        let dropped_clusters = clusters.len().saturating_sub(CLUSTER_BUDGET);
+        let other_members: usize = clusters
+            .iter()
+            .skip(CLUSTER_BUDGET)
+            .map(|c| c.members)
+            .sum();
+        clusters.truncate(CLUSTER_BUDGET);
+
+        // Fold per-rank edge tables (rank order) into the global top-k.
+        let mut global_edges = SpaceSaving::new(EDGE_BUDGET);
+        for out in ranks.iter().flatten() {
+            global_edges.absorb(&out.edges);
+        }
+        let dropped_edges = global_edges.evictions;
+        let edges: Vec<EdgeSummary> = global_edges
+            .top()
+            .into_iter()
+            .map(|e: HeavyHitter| EdgeSummary {
+                src: (e.key >> 32) as usize,
+                dst: (e.key & 0xffff_ffff) as usize,
+                msgs: e.count,
+                bytes: e.weight,
+                err_bytes: e.err,
+            })
+            .collect();
+
+        // Budget-based state accounting: constant in the step count by
+        // construction, and dominated by fixed sketch/checkpoint budgets
+        // rather than p (the per-rank residue is tens of bytes).
+        let nsec = names.len().max(1);
+        let state_bytes = std::mem::size_of::<SummaryTool>()
+            + nsec * std::mem::size_of::<SectionAgg>()
+            + 2 * CHECKPOINT_ROW_BUDGET
+                * nsec
+                * (std::mem::size_of::<CheckCell>() + std::mem::size_of::<u32>())
+            + clusters
+                .iter()
+                .map(|c| 64 + c.profile.len() * std::mem::size_of::<(u32, u64, u64)>())
+                .sum::<usize>()
+            + EDGE_BUDGET * std::mem::size_of::<HeavyHitter>()
+            + ranks
+                .iter()
+                .flatten()
+                .map(|r| r.residue_bytes)
+                .sum::<usize>();
+
+        let checkpoint_cadence_ns = checkpoints.cadence_ns;
+        let timeline = build_timeline(&checkpoints, &names, nranks, makespan_ns);
+
+        RunSummary {
+            nranks,
+            makespan_ns,
+            cpl_lower_bound_ns,
+            state_bytes,
+            sections,
+            clusters,
+            dropped_clusters,
+            other_members,
+            edges,
+            dropped_edges,
+            checkpoint_cadence_ns,
+            timeline,
+        }
+    }
+}
+
+/// Coarse log-quantization for the cluster fingerprint: 4 buckets per
+/// decade, so ranks whose waits differ by less than ~78% land together.
+fn quantize_ns(ns: u64) -> u32 {
+    if ns == 0 {
+        0
+    } else {
+        1 + (4.0 * (ns as f64).log10()).floor().max(0.0) as u32
+    }
+}
+
+/// Reconstruct a [`Timeline`] from the checkpoint rows. Additive fields
+/// (presence, waits, transfer, counters) recompose the exact run totals;
+/// per-rank maxima are not tracked by the bounded summary, so
+/// `max_time_ns`/`max_useful_ns` are 0 and the load-balance factor reads
+/// neutral — the comm/serialization/transfer efficiencies the trend
+/// detector consumes are all present.
+fn build_timeline(ck: &Checkpoints, names: &[String], nranks: usize, makespan_ns: u64) -> Timeline {
+    let c = ck.cadence_ns;
+    let nwin = ck.rows.len().max(1);
+    let mut edges_ns: Vec<u64> = (0..nwin as u64).map(|i| i * c).collect();
+    edges_ns.push(makespan_ns.max((nwin as u64 - 1) * c + 1));
+    let mut windows: Vec<Window> = Vec::with_capacity(nwin);
+    for w in 0..nwin {
+        let start_ns = edges_ns[w];
+        let end_ns = edges_ns[w + 1];
+        let mut sections: BTreeMap<String, WindowSection> = BTreeMap::new();
+        if let Some(row) = ck.rows.get(w) {
+            let mut ids: Vec<u32> = row.keys().copied().collect();
+            ids.sort_unstable();
+            for sec in ids {
+                let cell = &row[&sec];
+                let label = names
+                    .get(sec as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("#{sec}"));
+                let ws = WindowSection {
+                    capacity_ns: (end_ns - start_ns) * nranks as u64,
+                    time_ns: cell.time_ns,
+                    useful_ns: cell
+                        .time_ns
+                        .saturating_sub(cell.late_sender_ns + cell.coll_wait_ns + cell.transfer_ns),
+                    late_sender_ns: cell.late_sender_ns,
+                    coll_wait_ns: cell.coll_wait_ns,
+                    transfer_ns: cell.transfer_ns,
+                    max_time_ns: 0,
+                    max_useful_ns: 0,
+                    ranks: nranks,
+                    sent_msgs: cell.sent_msgs,
+                    sent_bytes: cell.sent_bytes,
+                    recv_msgs: cell.recv_msgs,
+                    recv_bytes: cell.recv_bytes,
+                    coll_exits: cell.coll_exits,
+                };
+                sections.insert(label, ws);
+            }
+        }
+        windows.push(Window {
+            start_ns,
+            end_ns,
+            sections,
+            wait_hist: Default::default(),
+        });
+    }
+    Timeline {
+        edges_ns,
+        nranks,
+        windows,
+    }
+}
+
+impl Tool for SummaryTool {
+    fn interests(&self) -> mpisim::EventMask {
+        use mpisim::EventKind as K;
+        mpisim::EventMask::of(&[
+            K::Init,
+            K::Finalize,
+            K::SectionEnter,
+            K::SectionLeave,
+            K::SendEnqueued,
+            K::RecvBlocked,
+            K::RecvMatched,
+            K::CallExit,
+            K::CollectiveEnter,
+            K::CollectiveExit,
+            K::Compute,
+        ])
+    }
+
+    fn on_event(&self, world_rank: usize, event: &MpiEvent) {
+        match event {
+            MpiEvent::Init { size, time } => {
+                {
+                    let mut n = self.nranks.lock();
+                    *n = (*n).max(*size);
+                }
+                let main = self.main_id();
+                self.with_rank(world_rank, |st| {
+                    st.stack.push((CommId::WORLD, main));
+                    st.last_t = time.as_nanos();
+                });
+            }
+            MpiEvent::Finalize { time } => {
+                let main = self.main_id();
+                let (sec, a, b) = self.with_rank(world_rank, |st| {
+                    let t = time.as_nanos();
+                    st.fini_ns = t;
+                    st.tick(t, main)
+                });
+                self.presence(sec, a, b);
+            }
+            MpiEvent::SectionEnter {
+                comm, label, time, ..
+            } => {
+                let id = self.interner.lock().intern(label);
+                let main = self.main_id();
+                let (sec, a, b) = self.with_rank(world_rank, |st| {
+                    let span = st.tick(time.as_nanos(), main);
+                    st.stack.push((*comm, id));
+                    span
+                });
+                self.presence(sec, a, b);
+            }
+            MpiEvent::SectionLeave {
+                comm, label, time, ..
+            } => {
+                let id = self.interner.lock().intern(label);
+                let main = self.main_id();
+                let (sec, a, b) = self.with_rank(world_rank, |st| {
+                    let span = st.tick(time.as_nanos(), main);
+                    if let Some(pos) = st.stack.iter().rposition(|&(c, l)| c == *comm && l == id) {
+                        st.stack.remove(pos);
+                    }
+                    span
+                });
+                self.presence(sec, a, b);
+            }
+            MpiEvent::SendEnqueued {
+                seq,
+                time,
+                bytes,
+                dst_world,
+                ..
+            } => {
+                let t = time.as_nanos();
+                self.sends.lock().insert(*seq, t);
+                let main = self.main_id();
+                let dst = *dst_world;
+                let nbytes = *bytes;
+                let (sec, a, b) = self.with_rank(world_rank, |st| {
+                    let span = st.tick(t, main);
+                    let key = ((world_rank as u64) << 32) | dst as u64;
+                    st.edges.record(key, nbytes, 1);
+                    span
+                });
+                self.presence(sec, a, b);
+                let mut ck = self.checkpoints.lock();
+                let cell = ck.cell(t, sec);
+                cell.sent_msgs += 1;
+                cell.sent_bytes += nbytes;
+            }
+            MpiEvent::RecvBlocked { time, .. } => {
+                self.with_rank(world_rank, |st| {
+                    st.recv_posted_ns = Some(time.as_nanos());
+                });
+            }
+            MpiEvent::RecvMatched {
+                seq, time, bytes, ..
+            } => {
+                // The send event is always delivered before the match can
+                // be observed (the deposit only becomes visible after the
+                // sender raised it), so this lookup succeeds; the map is
+                // pruned on match, bounding it by in-flight messages.
+                let send_ns = self.sends.lock().remove(seq);
+                let main = self.main_id();
+                let nbytes = *bytes;
+                let (span, sec, post, send, wait) = self.with_rank(world_rank, |st| {
+                    let t = time.as_nanos();
+                    let post = st.recv_posted_ns.take().unwrap_or(t);
+                    let span = st.tick(t, main);
+                    let sec = span.0;
+                    let send = send_ns.unwrap_or(post);
+                    let wait = if send > post {
+                        let w = send - post;
+                        st.bump_profile(sec * 4 + CLASS_LS, w);
+                        st.wait_total_ns += w;
+                        w
+                    } else {
+                        st.bump_profile(sec * 4 + CLASS_LR, post - send);
+                        0
+                    };
+                    st.pending_recv = Some(PendingRecv {
+                        sec,
+                        post_ns: post,
+                        send_ns: send,
+                        match_ns: t,
+                        bytes: nbytes,
+                    });
+                    (span, sec, post, send, wait)
+                });
+                self.presence(span.0, span.1, span.2);
+                self.with_section(sec, |agg| {
+                    if wait > 0 {
+                        agg.waits.late_sender_ns += wait;
+                        agg.wait_sketch.record(wait);
+                    } else {
+                        agg.waits.late_receiver_ns += post - send;
+                    }
+                });
+                if wait > 0 {
+                    self.checkpoints.lock().span(post, send, sec, |cell, ns| {
+                        cell.late_sender_ns += ns;
+                    });
+                }
+            }
+            MpiEvent::CallExit { time, .. } => {
+                // The blocking receive's completion edge: wire time after
+                // the send, plus the delivered-message counters.
+                let pending = self.with_rank(world_rank, |st| st.pending_recv.take());
+                if let Some(p) = pending {
+                    let done = time.as_nanos().max(p.match_ns);
+                    let mut ck = self.checkpoints.lock();
+                    ck.span(p.send_ns.max(p.post_ns), done, p.sec, |cell, ns| {
+                        cell.transfer_ns += ns;
+                    });
+                    let cell = ck.cell(done, p.sec);
+                    cell.recv_msgs += 1;
+                    cell.recv_bytes += p.bytes;
+                }
+            }
+            MpiEvent::CollectiveEnter {
+                comm,
+                members,
+                time,
+                ..
+            } => {
+                let t = time.as_nanos();
+                let round = self.with_rank(world_rank, |st| {
+                    let round = st.coll_rounds.entry(*comm).or_insert(0);
+                    let r = *round;
+                    *round += 1;
+                    st.coll_pending = Some((t, r));
+                    r
+                });
+                let mut colls = self.colls.lock();
+                let agg = colls.entry((*comm, round)).or_default();
+                agg.max_enter_ns = agg.max_enter_ns.max(t);
+                agg.size = members.len();
+            }
+            MpiEvent::CollectiveExit { comm, time, .. } => {
+                let main = self.main_id();
+                let t = time.as_nanos();
+                let (span, pending) = self.with_rank(world_rank, |st| {
+                    let span = st.tick(t, main);
+                    (span, st.coll_pending.take())
+                });
+                self.presence(span.0, span.1, span.2);
+                let sec = span.0;
+                self.checkpoints.lock().cell(t, sec).coll_exits += 1;
+                if let Some((enter_ns, round)) = pending {
+                    // A rank's enter event precedes its own exit event, so
+                    // once every member has exited, every arrival time is
+                    // in — the round settles exactly once, with the final
+                    // max_enter, regardless of delivery interleaving.
+                    let done = {
+                        let mut colls = self.colls.lock();
+                        let agg = colls.entry((*comm, round)).or_default();
+                        agg.pend.push(PendColl {
+                            rank: world_rank,
+                            sec,
+                            enter_ns,
+                            exit_ns: t,
+                        });
+                        if agg.size > 0 && agg.pend.len() == agg.size {
+                            colls.remove(&(*comm, round))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(agg) = done {
+                        for p in &agg.pend {
+                            self.settle_coll(agg.max_enter_ns, p);
+                        }
+                    }
+                }
+            }
+            MpiEvent::Compute { elapsed, time, .. } => {
+                let main = self.main_id();
+                let (sec, a, b) = self.with_rank(world_rank, |st| st.tick(time.as_nanos(), main));
+                self.presence(sec, a, b);
+                self.with_section(sec, |agg| {
+                    agg.compute_sketch.record(elapsed.as_nanos());
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One section's frozen streaming aggregates.
+#[derive(Debug, Clone)]
+pub struct SectionSummary {
+    /// Section label.
+    pub label: String,
+    /// Exact wait-class totals (matches the offline classifier).
+    pub waits: WaitBreakdown,
+    /// Sketch over individual idle waits (late-sender + collective).
+    pub wait_sketch: QuantileSketch,
+    /// Sketch over individual `Compute` durations.
+    pub compute_sketch: QuantileSketch,
+}
+
+/// One quantized cell of a cluster's wait profile.
+#[derive(Debug, Clone)]
+pub struct ProfileCell {
+    /// Section label.
+    pub label: String,
+    /// Wait-class name.
+    pub class: &'static str,
+    /// Coarse log bucket (4 per decade) the fingerprint hashed.
+    pub bucket: u32,
+    /// The exemplar rank's exact wait in this cell, ns.
+    pub exemplar_ns: u64,
+}
+
+/// A set of ranks with byte-equal quantized wait profiles.
+#[derive(Debug, Clone)]
+pub struct RankCluster {
+    /// FNV-1a fingerprint of the canonical quantized profile.
+    pub fingerprint: u64,
+    /// Ranks sharing the fingerprint.
+    pub members: usize,
+    /// Smallest member world rank.
+    pub exemplar: usize,
+    /// The exemplar's profile cells, sorted by (label, class).
+    pub profile: Vec<ProfileCell>,
+}
+
+/// One surviving heavy-hitter comm edge.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeSummary {
+    /// Source world rank.
+    pub src: usize,
+    /// Destination world rank.
+    pub dst: usize,
+    /// Messages (approximate if this edge was ever evicted).
+    pub msgs: u64,
+    /// Bytes (overestimated by at most `err_bytes`).
+    pub bytes: u64,
+    /// Weight inherited from evicted edges.
+    pub err_bytes: u64,
+}
+
+/// The frozen bounded-memory summary of one run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// World size.
+    pub nranks: usize,
+    /// Virtual end of the run, ns.
+    pub makespan_ns: u64,
+    /// Streaming lower bound on the critical-path length, ns.
+    pub cpl_lower_bound_ns: u64,
+    /// Summarizer state, bytes: fixed sketch/checkpoint/edge budgets plus
+    /// the O(1)-per-rank residues — independent of the event count.
+    pub state_bytes: usize,
+    /// Per-section aggregates, sorted by label.
+    pub sections: Vec<SectionSummary>,
+    /// Rank equivalence clusters, largest first, at most
+    /// [`CLUSTER_BUDGET`].
+    pub clusters: Vec<RankCluster>,
+    /// Clusters folded away beyond the budget.
+    pub dropped_clusters: usize,
+    /// Members of the folded clusters.
+    pub other_members: usize,
+    /// Top-k comm edges, heaviest first.
+    pub edges: Vec<EdgeSummary>,
+    /// Edge-eviction count across all sketches — 0 means `edges` is the
+    /// exact comm matrix.
+    pub dropped_edges: u64,
+    /// Final checkpoint cadence, ns per row.
+    pub checkpoint_cadence_ns: u64,
+    /// Timeline reconstructed from the checkpoint rows (additive fields
+    /// recompose exact run totals; per-rank maxima are absent).
+    pub timeline: Timeline,
+}
+
+impl RunSummary {
+    /// The checkpoint-derived timeline (feeds `speedup::trend::detect`).
+    pub fn to_timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Exact idle total (late-sender + collective waits) across ranks.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.sections
+            .iter()
+            .map(|s| s.waits.late_sender_ns + s.waits.coll_wait_ns)
+            .sum()
+    }
+
+    /// Text report: quantile table, cluster heatmap, top edges, bounds.
+    /// `seq_total_secs` is the Eq. 6 sequential-proxy total (the summed
+    /// per-section exclusive time over ranks divided by p is the
+    /// per-section denominator, exactly as in `render_bounds`).
+    pub fn render(&self, seq_total_secs: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bounded-memory run summary: p={}, makespan {:.3} s, summarizer state {:.1} KiB",
+            self.nranks,
+            self.makespan_ns as f64 / 1e9,
+            self.state_bytes as f64 / 1024.0
+        );
+        let _ = writeln!(
+            out,
+            "\nper-section streaming quantiles (rel err <= {:.1}%):",
+            QUANTILE_REL_ERR * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+            "section",
+            "waits",
+            "wait p50",
+            "wait p90",
+            "wait p99",
+            "wait sum s",
+            "computes",
+            "comp p50"
+        );
+        out.push_str(&"-".repeat(96));
+        out.push('\n');
+        for s in &self.sections {
+            let w = &s.wait_sketch;
+            let c = &s.compute_sketch;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10.4} {:>8} {:>10}",
+                crate::report::truncate_label(&s.label, 24),
+                w.total,
+                fmt_ns(w.quantile(0.5)),
+                fmt_ns(w.quantile(0.9)),
+                fmt_ns(w.quantile(0.99)),
+                w.sum_ns as f64 / 1e9,
+                c.total,
+                fmt_ns(c.quantile(0.5)),
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\nrank equivalence clusters ({} of <= {}; {} ranks in {} dropped clusters):",
+            self.clusters.len(),
+            CLUSTER_BUDGET,
+            self.other_members,
+            self.dropped_clusters
+        );
+        let cols: Vec<&str> = self.sections.iter().map(|s| s.label.as_str()).collect();
+        let max_cell = self
+            .clusters
+            .iter()
+            .flat_map(|c| c.profile.iter().map(|p| p.exemplar_ns))
+            .max()
+            .unwrap_or(0);
+        let mut header = format!("{:<10} {:>7} {:>9}  ", "cluster", "members", "exemplar");
+        for col in &cols {
+            let _ = write!(header, "{:>9}", crate::report::truncate_label(col, 9));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        for (i, cl) in self.clusters.iter().enumerate() {
+            let _ = write!(out, "{:<10} {:>7} {:>9}  ", i, cl.members, cl.exemplar);
+            for col in &cols {
+                let wait: u64 = cl
+                    .profile
+                    .iter()
+                    .filter(|p| p.label == *col)
+                    .map(|p| p.exemplar_ns)
+                    .sum();
+                let class = cl
+                    .profile
+                    .iter()
+                    .filter(|p| p.label == *col && p.exemplar_ns > 0)
+                    .max_by_key(|p| p.exemplar_ns)
+                    .map(|p| &p.class[..1])
+                    .unwrap_or("-");
+                let _ = write!(out, "{:>8}{}", heat_glyph(wait, max_cell), class);
+            }
+            out.push('\n');
+        }
+        out.push_str("  (heat: per-section exemplar wait, log scale; letter: dominant class — l=late-sender/receiver, c=coll-wait)\n");
+
+        let _ = writeln!(
+            out,
+            "\ntop comm edges by bytes (showing {} of {} kept; {} evictions — {}):",
+            self.edges.len().min(10),
+            self.edges.len(),
+            self.dropped_edges,
+            if self.dropped_edges == 0 {
+                "exact matrix"
+            } else {
+                "lighter tail dropped"
+            }
+        );
+        for e in self.edges.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:>6} -> {:<6} {:>12} B in {:>8} msgs{}",
+                e.src,
+                e.dst,
+                e.bytes,
+                e.msgs,
+                if e.err_bytes > 0 {
+                    format!("  (+<= {} B inherited)", e.err_bytes)
+                } else {
+                    String::new()
+                }
+            );
+        }
+
+        // Eq. 6 speedup bounds from checkpoint presence (rank-summed
+        // exclusive section time), plus the streaming CPL bound.
+        if seq_total_secs > 0.0 && self.nranks > 0 {
+            let totals = self.timeline.section_totals();
+            let mut rows: Vec<(String, f64)> = totals
+                .iter()
+                .filter(|(l, _)| l.as_str() != crate::section::MPI_MAIN)
+                .filter(|(_, ws)| ws.time_ns as f64 / self.nranks as f64 >= 1.0)
+                .map(|(l, ws)| {
+                    let own = ws.time_ns as f64 / 1e9 / self.nranks as f64;
+                    (l.clone(), seq_total_secs / own)
+                })
+                .collect();
+            rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let _ = writeln!(out, "\nEq. 6 speedup bounds from summarized presence:");
+            for (label, bound) in rows.iter().take(6) {
+                let _ = writeln!(
+                    out,
+                    "  S <= {:>10.2}  limited by {}",
+                    bound,
+                    crate::report::truncate_label(label, 32)
+                );
+            }
+            for (label, ws) in totals.iter() {
+                if label.as_str() != crate::section::MPI_MAIN
+                    && (ws.time_ns as f64 / self.nranks as f64) < 1.0
+                {
+                    let _ = writeln!(
+                        out,
+                        "  S <= (negligible presence: unbounded)  {}",
+                        crate::report::truncate_label(label, 32)
+                    );
+                }
+            }
+            let cpl = (self.cpl_lower_bound_ns as f64 / 1e9).max(1e-12);
+            let _ = writeln!(
+                out,
+                "critical path (streaming lower bound): CPL >= {:.4} s, so S <= T_seq/CPL <= {:.2}",
+                self.cpl_lower_bound_ns as f64 / 1e9,
+                seq_total_secs / cpl
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON `summary` block (validates under
+    /// `mpisim::jsoncheck`; byte-identical across engines and seeds).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"mpisim-summary-v1\"");
+        let _ = write!(
+            out,
+            ",\"nranks\":{},\"makespan_ns\":{},\"cpl_lower_bound_ns\":{},\"state_bytes\":{}",
+            self.nranks, self.makespan_ns, self.cpl_lower_bound_ns, self.state_bytes
+        );
+        let _ = write!(out, ",\"quantile_rel_err\":{QUANTILE_REL_ERR}");
+        out.push_str(",\"sections\":[");
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"waits\":{{\"late_sender_ns\":{},\"late_receiver_ns\":{},\"coll_wait_ns\":{}}},\"wait\":{},\"compute\":{}}}",
+                json_str(&s.label),
+                s.waits.late_sender_ns,
+                s.waits.late_receiver_ns,
+                s.waits.coll_wait_ns,
+                sketch_json(&s.wait_sketch),
+                sketch_json(&s.compute_sketch)
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"clusters\":{{\"budget\":{},\"dropped_clusters\":{},\"other_members\":{},\"groups\":[",
+            CLUSTER_BUDGET, self.dropped_clusters, self.other_members
+        );
+        for (i, c) in self.clusters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"fingerprint\":\"{:016x}\",\"members\":{},\"exemplar_rank\":{},\"profile\":[",
+                c.fingerprint, c.members, c.exemplar
+            );
+            for (j, p) in c.profile.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\":{},\"class\":\"{}\",\"bucket\":{},\"exemplar_ns\":{}}}",
+                    json_str(&p.label),
+                    p.class,
+                    p.bucket,
+                    p.exemplar_ns
+                );
+            }
+            out.push_str("]}");
+        }
+        let _ = write!(
+            out,
+            "]}},\"edges\":{{\"budget\":{},\"dropped_edges\":{},\"top\":[",
+            EDGE_BUDGET, self.dropped_edges
+        );
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"src\":{},\"dst\":{},\"msgs\":{},\"bytes\":{},\"err_bytes\":{}}}",
+                e.src, e.dst, e.msgs, e.bytes, e.err_bytes
+            );
+        }
+        let _ = write!(
+            out,
+            "]}},\"checkpoints\":{{\"cadence_ns\":{},\"rows\":[",
+            self.checkpoint_cadence_ns
+        );
+        for (i, w) in self.timeline.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"start_ns\":{},\"end_ns\":{},\"sections\":[",
+                w.start_ns, w.end_ns
+            );
+            for (j, (label, ws)) in w.sections.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"label\":{},\"time_ns\":{},\"late_sender_ns\":{},\"coll_wait_ns\":{},\"transfer_ns\":{},\"sent_msgs\":{},\"sent_bytes\":{},\"recv_msgs\":{},\"recv_bytes\":{},\"coll_exits\":{}}}",
+                    json_str(label),
+                    ws.time_ns,
+                    ws.late_sender_ns,
+                    ws.coll_wait_ns,
+                    ws.transfer_ns,
+                    ws.sent_msgs,
+                    ws.sent_bytes,
+                    ws.recv_msgs,
+                    ws.recv_bytes,
+                    ws.coll_exits
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+fn sketch_json(s: &QuantileSketch) -> String {
+    let min = if s.total == 0 { 0 } else { s.min_ns };
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+        s.total,
+        s.sum_ns,
+        min,
+        s.max_ns,
+        s.quantile(0.5),
+        s.quantile(0.9),
+        s.quantile(0.99)
+    )
+}
+
+/// Intensity glyph on a log scale relative to the largest cell.
+fn heat_glyph(ns: u64, max_ns: u64) -> char {
+    const GLYPHS: [char; 9] = [
+        ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    if ns == 0 || max_ns == 0 {
+        return GLYPHS[0];
+    }
+    let frac = ((ns as f64).ln() / (max_ns as f64).ln()).clamp(0.0, 1.0);
+    GLYPHS[1 + (frac * 7.0).round() as usize]
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SectionRuntime, VerifyMode};
+    use mpisim::{Src, TagSel, WorldBuilder};
+
+    fn straggler_summary() -> RunSummary {
+        // Two behavior groups: ranks 0-3 advance 1 s then barrier (they
+        // wait ~2 s); ranks 4-7 advance 3 s (no wait).
+        let summary = SummaryTool::new();
+        WorldBuilder::new(8)
+            .tool(summary.clone())
+            .run(|p| {
+                let world = p.world();
+                if p.world_rank() < 4 {
+                    p.advance_secs(1.0);
+                } else {
+                    p.advance_secs(3.0);
+                }
+                world.barrier(p);
+            })
+            .unwrap();
+        summary.freeze()
+    }
+
+    #[test]
+    fn clusters_separate_behavior_groups() {
+        let s = straggler_summary();
+        assert_eq!(s.clusters.len(), 2, "{:?}", s.clusters);
+        assert_eq!(s.dropped_clusters, 0);
+        assert_eq!(s.clusters[0].members + s.clusters[1].members, 8);
+        // Largest-first ordering with exemplar = smallest member.
+        assert_eq!(s.clusters[0].members, 4);
+        let exemplars: Vec<usize> = s.clusters.iter().map(|c| c.exemplar).collect();
+        assert!(
+            exemplars.contains(&0) && exemplars.contains(&4),
+            "{exemplars:?}"
+        );
+    }
+
+    #[test]
+    fn coll_wait_totals_and_cpl_bound() {
+        let s = straggler_summary();
+        let main = s
+            .sections
+            .iter()
+            .find(|x| x.label == crate::section::MPI_MAIN)
+            .unwrap();
+        // 4 early ranks waited ~2 s each.
+        let cw = main.waits.coll_wait_ns as f64 / 1e9;
+        assert!((7.8..8.6).contains(&cw), "coll wait {cw}");
+        assert_eq!(main.waits.late_sender_ns, 0);
+        // The straggler never waited: CPL >= its full ~3 s runtime.
+        let cpl = s.cpl_lower_bound_ns as f64 / 1e9;
+        assert!(cpl >= 2.9, "cpl lower bound {cpl}");
+        assert!(s.cpl_lower_bound_ns <= s.makespan_ns);
+    }
+
+    #[test]
+    fn late_sender_matches_classifier() {
+        let sections = SectionRuntime::new(VerifyMode::Active);
+        let summary = SummaryTool::new();
+        let rec = crate::CommRecorder::new();
+        let s = sections.clone();
+        WorldBuilder::new(2)
+            .tool(sections.clone())
+            .tool(summary.clone())
+            .tool(rec.clone())
+            .run(move |p| {
+                let world = p.world();
+                s.scoped(p, &world, "PIPE", |p| {
+                    let world = p.world();
+                    if p.world_rank() == 0 {
+                        let _ = world.recv::<u8>(p, Src::Rank(1), TagSel::Any);
+                    } else {
+                        p.advance_secs(3.0);
+                        world.send(p, 0, 0, &[1u8]);
+                    }
+                });
+            })
+            .unwrap();
+        let sum = summary.freeze();
+        let exact = crate::classify(&rec.freeze());
+        let pipe = sum.sections.iter().find(|x| x.label == "PIPE").unwrap();
+        assert_eq!(pipe.waits, *exact.per_section.get("PIPE").unwrap());
+        // The one wait shows up in the sketch with exact sum.
+        assert_eq!(pipe.wait_sketch.total, 1);
+        assert_eq!(pipe.wait_sketch.sum_ns as u64, pipe.waits.late_sender_ns);
+    }
+
+    #[test]
+    fn edges_exact_when_under_budget() {
+        let summary = SummaryTool::new();
+        WorldBuilder::new(3)
+            .tool(summary.clone())
+            .run(|p| {
+                let world = p.world();
+                let me = p.world_rank();
+                if me == 0 {
+                    world.send(p, 1, 0, &[0u8; 64]);
+                    world.send(p, 2, 0, &[0u8; 16]);
+                    world.send(p, 1, 0, &[0u8; 64]);
+                } else {
+                    let _ = world.recv::<u8>(p, Src::Rank(0), TagSel::Any);
+                    if me == 1 {
+                        let _ = world.recv::<u8>(p, Src::Rank(0), TagSel::Any);
+                    }
+                }
+                world.barrier(p);
+            })
+            .unwrap();
+        let s = summary.freeze();
+        assert_eq!(s.dropped_edges, 0);
+        assert_eq!(s.edges.len(), 2);
+        assert_eq!((s.edges[0].src, s.edges[0].dst), (0, 1));
+        assert_eq!(s.edges[0].bytes, 128);
+        assert_eq!(s.edges[0].msgs, 2);
+        assert_eq!((s.edges[1].src, s.edges[1].dst), (0, 2));
+    }
+
+    #[test]
+    fn render_and_json_are_wellformed() {
+        let s = straggler_summary();
+        let text = s.render(4.0);
+        assert!(text.contains("bounded-memory run summary"), "{text}");
+        assert!(text.contains("rank equivalence clusters"), "{text}");
+        assert!(text.contains("CPL >="), "{text}");
+        let json = s.to_json();
+        assert!(json.contains("\"schema\":\"mpisim-summary-v1\""));
+        assert!(json.contains("\"dropped_edges\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        mpisim::jsoncheck::assert_json(&json, "summary json");
+    }
+
+    #[test]
+    fn checkpoint_cadence_doubles_not_rows() {
+        let mut ck = Checkpoints::default();
+        // Spans far beyond the base window force cadence doubling.
+        ck.span(0, 40_000_000_000, 0, |cell, ns| cell.time_ns += ns);
+        assert!(ck.rows.len() <= 2 * CHECKPOINT_ROW_BUDGET);
+        assert!(ck.cadence_ns > CHECKPOINT_BASE_CADENCE_NS);
+        let total: u64 = ck
+            .rows
+            .iter()
+            .flat_map(|r| r.values())
+            .map(|c| c.time_ns)
+            .sum();
+        assert_eq!(total, 40_000_000_000);
+    }
+}

@@ -123,12 +123,50 @@ impl TraceTool {
     /// synthetic "windowed efficiency" process, so metric trajectories sit
     /// directly under the span rows and flow arrows they explain.
     pub fn to_chrome_trace_with(&self, timeline: Option<&crate::Timeline>) -> String {
-        let spans = self.spans();
+        self.to_chrome_trace_capped(usize::MAX, timeline).0
+    }
+
+    /// Like [`TraceTool::to_chrome_trace_with`], but capped at
+    /// `max_ranks` rank lanes: spans and flow arrows touching world rank
+    /// `>= max_ranks` are dropped and the count of distinct dropped ranks
+    /// is returned alongside the JSON, so large-p exports stay bounded
+    /// and the caller can say exactly what was cut instead of silently
+    /// emitting a multi-GB trace.
+    pub fn to_chrome_trace_capped(
+        &self,
+        max_ranks: usize,
+        timeline: Option<&crate::Timeline>,
+    ) -> (String, usize) {
+        let mut dropped: BTreeSet<usize> = BTreeSet::new();
+        let spans: Vec<SpanEvent> = self
+            .spans()
+            .into_iter()
+            .filter(|e| {
+                if e.rank < max_ranks {
+                    true
+                } else {
+                    dropped.insert(e.rank);
+                    false
+                }
+            })
+            .collect();
         let flows = {
             let flows = self.flows.lock();
             let mut pairs: Vec<(u64, FlowEnds)> = flows
                 .iter()
                 .filter(|(_, f)| f.src.is_some() && f.dst.is_some())
+                .filter(|(_, f)| {
+                    let ends = [f.src.expect("filtered"), f.dst.expect("filtered")];
+                    let keep = ends.iter().all(|&(rank, _, _)| rank < max_ranks);
+                    if !keep {
+                        for (rank, _, _) in ends {
+                            if rank >= max_ranks {
+                                dropped.insert(rank);
+                            }
+                        }
+                    }
+                    keep
+                })
                 .map(|(&seq, &f)| (seq, f))
                 .collect();
             pairs.sort_by_key(|&(seq, _)| seq);
@@ -253,7 +291,7 @@ impl TraceTool {
         }
 
         out.push(']');
-        out
+        (out, dropped.len())
     }
 
     /// Export as folded flamegraph stacks: one line per unique stack,
@@ -549,6 +587,22 @@ mod tests {
         // Without a timeline the output is unchanged.
         assert_eq!(trace.to_chrome_trace(), trace.to_chrome_trace_with(None));
         assert!(!trace.to_chrome_trace().contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn rank_cap_drops_lanes_and_counts_them() {
+        let trace = traced_ring_run();
+        let (json, dropped) = trace.to_chrome_trace_capped(1, None);
+        assert_eq!(dropped, 1);
+        assert!(json.contains("\"name\":\"rank 0\""), "{json}");
+        assert!(!json.contains("\"name\":\"rank 1\""), "{json}");
+        // Both messages touch rank 1, so every flow arrow is dropped too.
+        assert!(!json.contains("\"ph\":\"s\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // An unconstrained cap is the identity.
+        let (full, none_dropped) = trace.to_chrome_trace_capped(usize::MAX, None);
+        assert_eq!(none_dropped, 0);
+        assert_eq!(full, trace.to_chrome_trace());
     }
 
     #[test]

@@ -33,15 +33,16 @@ const SHARDS: usize = 64;
 
 /// Section-label interner: recording threads store compact ids; analysis
 /// resolves them back to names (and sorts by name, since id allocation
-/// order is scheduling-dependent).
+/// order is scheduling-dependent). Shared with the streaming summarizer
+/// (`crate::summary`), which has the same id/name split.
 #[derive(Default)]
-struct Interner {
+pub(crate) struct Interner {
     ids: HashMap<Arc<str>, u32>,
-    names: Vec<String>,
+    pub(crate) names: Vec<String>,
 }
 
 impl Interner {
-    fn intern(&mut self, label: &Arc<str>) -> u32 {
+    pub(crate) fn intern(&mut self, label: &Arc<str>) -> u32 {
         if let Some(&id) = self.ids.get(label) {
             return id;
         }

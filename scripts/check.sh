@@ -149,4 +149,23 @@ test "$scale_secs" -le 60 \
 cargo run -q --release -p bench --bin jsoncheck -- "$smoke_scale"
 rm -f "$smoke_scale"
 
+echo "==> smoke: streaming summary, conv --p 4096 --summary (time-boxed)"
+# At p >= 1024 the profiler switches to summary-only recording: bounded
+# sketches instead of a full event log. The summary JSON must validate
+# and carry the edge-eviction counter that proves the top-k cap engaged.
+smoke_summary="$(mktemp /tmp/check-summary.XXXXXX.json)"
+summary_start="$(date +%s)"
+cargo run -q --release -p bench --bin profile -- \
+    conv --p 4096 --steps 10 --engine des --machine ideal \
+    --summary --summary-json "$smoke_summary" > /dev/null
+summary_secs="$(( $(date +%s) - summary_start ))"
+test "$summary_secs" -le 60 \
+    || { echo "p=4096 summary smoke took ${summary_secs}s (> 60s box)"; exit 1; }
+cargo run -q --release -p bench --bin jsoncheck -- "$smoke_summary"
+grep -q '"dropped_edges"' "$smoke_summary" \
+    || { echo "summary JSON missing dropped_edges counter"; exit 1; }
+grep -q '"schema":"mpisim-summary-v1"' "$smoke_summary" \
+    || { echo "summary JSON missing schema marker"; exit 1; }
+rm -f "$smoke_summary"
+
 echo "==> all checks passed"
